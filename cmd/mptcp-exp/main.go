@@ -1,0 +1,54 @@
+// Command mptcp-exp runs the experiments that reproduce every table and
+// figure of "Design, implementation and evaluation of congestion control
+// for multipath TCP" (Wischik et al., NSDI 2011).
+//
+// Usage:
+//
+//	mptcp-exp -list
+//	mptcp-exp -run fig8-torus [-scale 1.0] [-seed 42]
+//	mptcp-exp -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mptcp/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	id := flag.String("run", "", "experiment ID to run (or 'all')")
+	seed := flag.Int64("seed", 42, "random seed")
+	scale := flag.Float64("scale", 1.0, "duration/topology scale (1.0 = paper fidelity)")
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("Experiments reproducing Wischik et al., NSDI 2011:")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-24s %-18s %s\n", e.ID, e.Ref, e.Desc)
+		}
+		return
+	}
+	cfg := exp.Config{Seed: *seed, Scale: *scale}
+	run := func(e *exp.Experiment) {
+		start := time.Now()
+		res := e.Run(cfg)
+		res.Render(os.Stdout)
+		fmt.Printf("\n  (wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if *id == "all" {
+		for _, e := range exp.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := exp.Get(*id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *id)
+		os.Exit(1)
+	}
+	run(e)
+}

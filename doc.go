@@ -1,0 +1,22 @@
+// Package mptcp is a from-scratch Go reproduction of "Design,
+// implementation and evaluation of congestion control for multipath TCP"
+// (Wischik, Raiciu, Greenhalgh, Handley — NSDI 2011).
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation, each driving
+// the experiment registry in internal/exp. The library itself lives
+// under internal/ (see README.md for the architecture map):
+//
+//   - internal/core — the coupled congestion-control algorithms (the
+//     paper's contribution: REGULAR, EWTCP, COUPLED, SEMICOUPLED, MPTCP);
+//   - internal/sim, internal/netsim, internal/transport — the
+//     deterministic packet-level simulator and TCP/MPTCP endpoint models;
+//   - internal/topo, internal/traffic, internal/metrics, internal/model —
+//     the evaluation scenarios, workloads and analysis tools;
+//   - internal/exp — one registered experiment per table/figure;
+//   - internal/mptcpnet — a userspace MPTCP-over-UDP stack (§6's
+//     protocol design over real sockets).
+//
+// Run `go run ./cmd/mptcp-exp -list` for the reproduction index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package mptcp

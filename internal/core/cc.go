@@ -1,0 +1,314 @@
+// Package core implements the multipath congestion-control algorithms of
+// "Design, implementation and evaluation of congestion control for
+// multipath TCP" (Wischik, Raiciu, Greenhalgh, Handley — NSDI 2011):
+//
+//   - REGULAR (uncoupled): independent TCP NewReno on every subflow,
+//   - EWTCP (§2.1): equally-weighted TCP,
+//   - COUPLED (§2.2): fully coupled increase/decrease, moves all traffic
+//     to the least-congested path,
+//   - SEMICOUPLED (§2.4): coupled increase, per-subflow decrease,
+//   - MPTCP (§2, eq. (1)): SEMICOUPLED with RTT compensation and the
+//     1/w_r cap, the paper's final algorithm (standardised as RFC 6356).
+//
+// The algorithms are pure window arithmetic with no dependency on the
+// simulator or on real sockets, so the identical code drives both the
+// packet-level simulation (internal/tcpsim, internal/mptcpsim) and the
+// userspace UDP protocol stack (internal/mptcpnet).
+//
+// Windows are measured in packets, as in the paper. An Algorithm only
+// governs congestion avoidance; slow start, fast recovery and timeouts are
+// the transport's business (they are identical across the algorithms
+// evaluated in the paper).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MinCwnd is the floor on any subflow's congestion window, in packets.
+// §2.4: "our implementation of COUPLED keeps window sizes ≥ 1pkt, so it
+// always does some probing". We apply the same floor to every algorithm.
+const MinCwnd = 1.0
+
+// DefaultSRTT is used for a subflow that has no RTT sample yet (e.g. in
+// the first round trip). MPTCP's increase formula needs an RTT for every
+// subflow; before the first measurement the transport has nothing better.
+const DefaultSRTT = 0.1 // seconds
+
+// Subflow is the congestion state of one subflow as seen by an Algorithm.
+type Subflow struct {
+	Cwnd     float64 // congestion window, packets
+	SSThresh float64 // slow-start threshold, packets
+	SRTT     float64 // smoothed RTT, seconds; 0 means no sample yet
+}
+
+func (s *Subflow) rtt() float64 {
+	if s.SRTT > 0 {
+		return s.SRTT
+	}
+	return DefaultSRTT
+}
+
+// Algorithm computes congestion-avoidance window adjustments for the set
+// of subflows of one connection. Implementations may keep scratch state
+// and are not safe for concurrent use by multiple goroutines.
+type Algorithm interface {
+	// Name returns the algorithm's name as used in the paper.
+	Name() string
+	// Increase returns the window increment, in packets, applied to
+	// subflow r upon one ACKed packet during congestion avoidance.
+	Increase(subs []Subflow, r int) float64
+	// Decrease returns the new congestion window for subflow r after a
+	// loss event on r (the multiplicative-decrease step). The result is
+	// already floored at MinCwnd.
+	Decrease(subs []Subflow, r int) float64
+}
+
+// TotalCwnd returns the sum of the subflow windows ("w_total").
+func TotalCwnd(subs []Subflow) float64 {
+	t := 0.0
+	for i := range subs {
+		t += subs[i].Cwnd
+	}
+	return t
+}
+
+func floorMin(w float64) float64 {
+	if w < MinCwnd {
+		return MinCwnd
+	}
+	return w
+}
+
+// Regular implements uncoupled NewReno on every subflow: increase 1/w_r
+// per ACK, halve on loss. With more than one subflow this is the unfair
+// strawman of §2.1; with a single subflow it is the paper's REGULAR TCP
+// and the single-path baseline of every experiment.
+type Regular struct{}
+
+func (Regular) Name() string { return "REGULAR" }
+
+func (Regular) Increase(subs []Subflow, r int) float64 {
+	return 1 / floorMin(subs[r].Cwnd)
+}
+
+func (Regular) Decrease(subs []Subflow, r int) float64 {
+	return floorMin(subs[r].Cwnd / 2)
+}
+
+// EWTCP implements the equally-weighted TCP of §2.1: each subflow runs a
+// weighted AIMD such that its equilibrium window is Weight × the window a
+// regular TCP would achieve at the same loss rate. With Weight = 1/n the
+// connection takes one regular TCP's share through a shared bottleneck
+// and, per §2.3, achieves the arithmetic mean of the single-path rates on
+// heterogeneous paths.
+//
+// Note on the paper's text: §2.1 prints the increase as "a/w_r with
+// a = 1/√n", but its own worked examples (§2.1 fairness, §2.3's
+// "(707+141)/2 = 424 pkt/s") require the equilibrium window on each path
+// to be exactly 1/n of a regular TCP's, which with halving decrease needs
+// a per-ACK increase of (1/n)²/w_r. We implement the behaviour the paper
+// evaluates: increase Weight²/w_r, so that w_r = Weight·√(2/p_r).
+type EWTCP struct {
+	// Weight is the per-subflow weight; if zero, 1/n is used, matching
+	// the paper's a = 1/√n convention (equilibrium window ∝ a²).
+	Weight float64
+}
+
+func (EWTCP) Name() string { return "EWTCP" }
+
+func (e EWTCP) weight(n int) float64 {
+	if e.Weight > 0 {
+		return e.Weight
+	}
+	return 1 / float64(n)
+}
+
+func (e EWTCP) Increase(subs []Subflow, r int) float64 {
+	w := e.weight(len(subs))
+	return w * w / floorMin(subs[r].Cwnd)
+}
+
+func (EWTCP) Decrease(subs []Subflow, r int) float64 {
+	return floorMin(subs[r].Cwnd / 2)
+}
+
+// Coupled implements the fully coupled algorithm of §2.2, adapted from
+// Kelly & Voice and Han et al.: increase 1/w_total per ACK on any
+// subflow, decrease w_total/2 on any loss. At equilibrium only the
+// least-congested paths carry traffic, so COUPLED balances congestion
+// perfectly (Fig. 8) but gets trapped when path qualities change (§2.4,
+// Fig. 5) and collapses onto high-RTT paths under RTT mismatch (§2.3).
+type Coupled struct{}
+
+func (Coupled) Name() string { return "COUPLED" }
+
+func (Coupled) Increase(subs []Subflow, r int) float64 {
+	return 1 / floorMin(TotalCwnd(subs))
+}
+
+func (Coupled) Decrease(subs []Subflow, r int) float64 {
+	return floorMin(subs[r].Cwnd - TotalCwnd(subs)/2)
+}
+
+// SemiCoupled implements §2.4's compromise: increase a/w_total per ACK,
+// halve w_r on loss. It keeps probe traffic on every path while still
+// favouring the less congested ones; equilibrium splits windows in
+// proportion to 1/p_r.
+type SemiCoupled struct {
+	// A is the aggressiveness constant. If zero, 1/n is used, which
+	// makes the aggregate equal to one regular TCP when all paths have
+	// equal loss rates and RTTs.
+	A float64
+}
+
+func (SemiCoupled) Name() string { return "SEMICOUPLED" }
+
+func (s SemiCoupled) a(n int) float64 {
+	if s.A > 0 {
+		return s.A
+	}
+	return 1 / float64(n)
+}
+
+func (s SemiCoupled) Increase(subs []Subflow, r int) float64 {
+	return s.a(len(subs)) / floorMin(TotalCwnd(subs))
+}
+
+func (SemiCoupled) Decrease(subs []Subflow, r int) float64 {
+	return floorMin(subs[r].Cwnd / 2)
+}
+
+// MPTCP is the paper's final algorithm (§2): upon each ACK on subflow r,
+// increase w_r by
+//
+//	min over S ⊆ R, r ∈ S of   max_{s∈S} w_s/RTT_s²  /  (Σ_{s∈S} w_s/RTT_s)²
+//
+// and halve w_r on loss. The min over subsets embeds both the
+// SEMICOUPLED-style preference for less-congested paths and the 1/w_r cap
+// of §2.5 (the singleton S = {r} bounds the increase by 1/w_r), and the
+// RTT terms implement §2.5's RTT compensation, so the connection takes at
+// least as much as the best single-path TCP (goal (3)) and no more than a
+// single-path TCP on any bottleneck (goal (4)).
+//
+// Following the appendix, the minimum is found with a linear search: order
+// subflows by √w_s/RTT_s ascending; then only the "prefix" sets
+// {1..u} for u ≥ position(r) can attain the minimum.
+type MPTCP struct {
+	// PerAck, if true, recomputes the increase on every call. If false
+	// (the default), the increase is cached and recomputed only when the
+	// total window has grown by at least one packet since the last
+	// computation — the optimisation described in §2: "we compute the
+	// increase parameter only when the congestion windows grow to
+	// accommodate one more packet, rather than every ACK".
+	PerAck bool
+
+	// scratch state (single connection, single goroutine).
+	ord        []int
+	cached     []float64
+	cacheTotal float64
+	cacheN     int
+}
+
+func (*MPTCP) Name() string { return "MPTCP" }
+
+// rawIncrease computes eq. (1) for subflow r by the appendix's linear
+// search.
+func (m *MPTCP) rawIncrease(subs []Subflow, r int) float64 {
+	n := len(subs)
+	if n == 1 {
+		return 1 / floorMin(subs[0].Cwnd)
+	}
+	if cap(m.ord) < n {
+		m.ord = make([]int, n)
+	}
+	ord := m.ord[:n]
+	for i := range ord {
+		ord[i] = i
+	}
+	// Ascending √w/RTT ⇔ ascending w/RTT².
+	key := func(i int) float64 {
+		s := &subs[i]
+		rtt := s.rtt()
+		return floorMin(s.Cwnd) / (rtt * rtt)
+	}
+	sort.Slice(ord, func(a, b int) bool { return key(ord[a]) < key(ord[b]) })
+
+	pos := 0
+	for i, idx := range ord {
+		if idx == r {
+			pos = i
+			break
+		}
+	}
+	best := math.Inf(1)
+	sum := 0.0
+	for u := 0; u < n; u++ {
+		s := &subs[ord[u]]
+		w := floorMin(s.Cwnd)
+		rtt := s.rtt()
+		sum += w / rtt
+		if u < pos {
+			continue
+		}
+		cand := (w / (rtt * rtt)) / (sum * sum)
+		if cand < best {
+			best = cand
+		}
+	}
+	return best
+}
+
+func (m *MPTCP) Increase(subs []Subflow, r int) float64 {
+	if m.PerAck {
+		return m.rawIncrease(subs, r)
+	}
+	n := len(subs)
+	total := TotalCwnd(subs)
+	if m.cacheN != n || total >= m.cacheTotal+1 || total < m.cacheTotal-1 {
+		if cap(m.cached) < n {
+			m.cached = make([]float64, n)
+		}
+		m.cached = m.cached[:n]
+		for i := 0; i < n; i++ {
+			m.cached[i] = m.rawIncrease(subs, i)
+		}
+		m.cacheTotal = total
+		m.cacheN = n
+	}
+	return m.cached[r]
+}
+
+func (m *MPTCP) Decrease(subs []Subflow, r int) float64 {
+	// Window state changed: invalidate the cache.
+	m.cacheN = 0
+	return floorMin(subs[r].Cwnd / 2)
+}
+
+// New constructs an algorithm by the name used in the paper; n is the
+// number of subflows (used for default weights). Recognised names:
+// REGULAR (or UNCOUPLED, TCP), EWTCP, COUPLED, SEMICOUPLED, MPTCP.
+func New(name string) (Algorithm, error) {
+	switch name {
+	case "REGULAR", "UNCOUPLED", "TCP":
+		return Regular{}, nil
+	case "EWTCP":
+		return EWTCP{}, nil
+	case "COUPLED":
+		return Coupled{}, nil
+	case "SEMICOUPLED":
+		return SemiCoupled{}, nil
+	case "MPTCP":
+		return &MPTCP{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", name)
+	}
+}
+
+// Names lists the algorithms accepted by New, in the paper's order of
+// presentation.
+func Names() []string {
+	return []string{"REGULAR", "EWTCP", "COUPLED", "SEMICOUPLED", "MPTCP"}
+}

@@ -1,0 +1,250 @@
+// Package exp contains one registered experiment per table and figure in
+// the paper's evaluation (§2–§5), plus ablations of the design decisions.
+// Each experiment builds its scenario from the substrate packages, runs
+// the packet-level simulation and reports the same rows/series the paper
+// does. The cmd/mptcp-exp tool and the top-level benchmark harness both
+// drive this registry.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mptcp/internal/core"
+	"mptcp/internal/netsim"
+	"mptcp/internal/sim"
+	"mptcp/internal/transport"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical results.
+	Seed int64
+	// Scale multiplies simulated durations (and, below 0.5, shrinks the
+	// data-centre topologies) so the suite can run quickly in tests.
+	// 1.0 reproduces the paper-fidelity setup.
+	Scale float64
+}
+
+func (c Config) norm() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// dur scales a paper-fidelity duration.
+func (c Config) dur(d sim.Time) sim.Time {
+	t := sim.Time(float64(d) * c.Scale)
+	if t < 100*sim.Millisecond {
+		t = 100 * sim.Millisecond
+	}
+	return t
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// Point is one (x, y) sample of a figure.
+type Point struct{ X, Y float64 }
+
+// Curve is a named series within a figure.
+type Curve struct {
+	Name string
+	Pts  []Point
+}
+
+// Figure is a reproduced plot: one curve per algorithm/series.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []Curve
+}
+
+// Result is everything an experiment reports.
+type Result struct {
+	ID      string
+	Tables  []Table
+	Figures []Figure
+	Notes   []string
+	// Metrics exposes headline scalars (used by benchmarks and
+	// EXPERIMENTS.md): e.g. "mptcp_total_mbps".
+	Metrics map[string]float64
+}
+
+func newResult(id string) *Result {
+	return &Result{ID: id, Metrics: make(map[string]float64)}
+}
+
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes a human-readable report.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", r.ID)
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "\n%s\n", t.Title)
+		widths := make([]int, len(t.Cols))
+		for i, c := range t.Cols {
+			widths[i] = len(c)
+		}
+		for _, row := range t.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			}
+			fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		}
+		line(t.Cols)
+		for _, row := range t.Rows {
+			line(row)
+		}
+	}
+	for _, f := range r.Figures {
+		fmt.Fprintf(w, "\n%s  (x: %s, y: %s)\n", f.Title, f.XLabel, f.YLabel)
+		for _, c := range f.Curves {
+			fmt.Fprintf(w, "  %s:", c.Name)
+			for _, p := range c.Pts {
+				fmt.Fprintf(w, " (%.4g, %.4g)", p.X, p.Y)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "  note: %s\n", n)
+		}
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  metric %s = %.4g\n", k, r.Metrics[k])
+		}
+	}
+}
+
+// Experiment couples an ID and paper reference with a runner.
+type Experiment struct {
+	ID   string
+	Ref  string // the table/figure in the paper
+	Desc string
+	Run  func(Config) *Result
+}
+
+var (
+	registry = map[string]*Experiment{}
+	order    []string
+)
+
+// Register adds an experiment; duplicate IDs panic.
+func Register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// Get looks an experiment up by ID.
+func Get(id string) (*Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns the experiments in registration order.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(order))
+	for _, id := range order {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// --- shared helpers ---------------------------------------------------
+
+// algSet returns fresh instances of the multipath algorithms the paper
+// compares (EWTCP, COUPLED, MPTCP) in presentation order. Fresh instances
+// matter: MPTCP keeps per-connection scratch state.
+func algSet() []core.Algorithm {
+	return []core.Algorithm{core.EWTCP{}, core.Coupled{}, &core.MPTCP{}}
+}
+
+func newAlg(name string) core.Algorithm {
+	a, err := core.New(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// world bundles a simulator and network with an experiment-local seed.
+type world struct {
+	s *sim.Simulator
+	n *netsim.Net
+}
+
+func newWorld(seed int64) *world {
+	s := sim.New(seed)
+	return &world{s: s, n: netsim.NewNet(s)}
+}
+
+// measure runs the simulation to warm, snapshots flow progress, runs to
+// end, and returns each connection's throughput in Mb/s over [warm, end].
+func (w *world) measure(conns []*transport.Conn, warm, end sim.Time) []float64 {
+	w.s.RunUntil(warm)
+	base := make([]int64, len(conns))
+	for i, c := range conns {
+		base[i] = c.Delivered()
+	}
+	w.s.RunUntil(end)
+	out := make([]float64, len(conns))
+	dur := (end - warm).Seconds()
+	for i, c := range conns {
+		out[i] = float64(c.Delivered()-base[i]) * netsim.DataPacketSize * 8 / dur / 1e6
+	}
+	return out
+}
+
+// mbps converts delivered packets over a duration to Mb/s.
+func mbps(pkts int64, dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(pkts) * netsim.DataPacketSize * 8 / dur.Seconds() / 1e6
+}
+
+// pktps converts delivered packets over a duration to packets/s.
+func pktps(pkts int64, dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(pkts) / dur.Seconds()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every registered experiment at a tiny
+// scale: they must complete, render, and produce finite metrics.
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && (strings.HasPrefix(e.ID, "table-fattree") ||
+				strings.HasPrefix(e.ID, "table-bcube") ||
+				strings.HasPrefix(e.ID, "fig1")) {
+				t.Skip("heavy experiment skipped in -short")
+			}
+			res := e.Run(Config{Seed: 1, Scale: 0.02})
+			if res.ID != e.ID {
+				t.Errorf("result ID %q != experiment ID %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 && len(res.Figures) == 0 {
+				t.Error("experiment produced no tables or figures")
+			}
+			for k, v := range res.Metrics {
+				if v != v || v < 0 { // NaN or negative
+					t.Errorf("metric %s = %v", k, v)
+				}
+			}
+			var sb strings.Builder
+			res.Render(&sb)
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Error("render omitted the experiment ID")
+			}
+		})
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if len(All()) < 15 {
+		t.Errorf("only %d experiments registered; the paper needs 17+", len(All()))
+	}
+	if _, ok := Get("fig8-torus"); !ok {
+		t.Error("fig8-torus missing")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("bogus ID resolved")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Ref == "" || e.Desc == "" || e.Run == nil {
+			t.Errorf("experiment %s is missing metadata", e.ID)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.norm()
+	if c.Scale != 1 || c.Seed == 0 {
+		t.Errorf("norm gave %+v", c)
+	}
+}
+
+// Shape assertions at moderate scale: these check the paper's qualitative
+// claims, not absolute numbers.
+
+func TestShapeSec23(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	e, _ := Get("sec23-wifi3g-model")
+	res := e.Run(Config{Seed: 3, Scale: 0.4})
+	m := res.Metrics
+	if m["mptcp_pktps"] < 0.75*m["tcp_wifi_pktps"] {
+		t.Errorf("MPTCP %v should approach best single path %v", m["mptcp_pktps"], m["tcp_wifi_pktps"])
+	}
+	if m["ewtcp_pktps"] > 0.8*m["mptcp_pktps"] {
+		t.Errorf("EWTCP %v should fall well short of MPTCP %v under RTT mismatch", m["ewtcp_pktps"], m["mptcp_pktps"])
+	}
+	if m["coupled_pktps"] > 0.8*m["mptcp_pktps"] {
+		t.Errorf("COUPLED %v should fall well short of MPTCP %v", m["coupled_pktps"], m["mptcp_pktps"])
+	}
+}
+
+func TestShapeDynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	e, _ := Get("table-dynamic")
+	res := e.Run(Config{Seed: 3, Scale: 0.4})
+	m := res.Metrics
+	if m["coupled_top_mbps"] > 0.8*m["mptcp_top_mbps"] {
+		t.Errorf("COUPLED top-link %v should trail MPTCP %v (trapped, §2.4)",
+			m["coupled_top_mbps"], m["mptcp_top_mbps"])
+	}
+	for _, k := range []string{"ewtcp_bottom_mbps", "coupled_bottom_mbps", "mptcp_bottom_mbps"} {
+		if m[k] < 90 {
+			t.Errorf("%s = %v, the uncontended bottom link should be ~100", k, m[k])
+		}
+	}
+}
+
+func TestShapeWirelessStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	e, _ := Get("table-wireless-static")
+	res := e.Run(Config{Seed: 3, Scale: 0.4})
+	m := res.Metrics
+	if m["sum_ratio"] < 0.85 {
+		t.Errorf("MPTCP should reach ~the sum of idle access links, ratio=%v", m["sum_ratio"])
+	}
+	if m["tcp_wifi_mbps"] < 12 || m["tcp_wifi_mbps"] > 16 {
+		t.Errorf("TCP-WiFi = %v, want ~14.4", m["tcp_wifi_mbps"])
+	}
+	if m["tcp_3g_mbps"] < 1.6 || m["tcp_3g_mbps"] > 2.3 {
+		t.Errorf("TCP-3G = %v, want ~2.1", m["tcp_3g_mbps"])
+	}
+}
+
+func TestShapeFig8Balance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	e, _ := Get("fig8-torus")
+	res := e.Run(Config{Seed: 3, Scale: 0.4})
+	m := res.Metrics
+	if m["ewtcp_ratio_c100"] > m["mptcp_ratio_c100"] {
+		t.Errorf("EWTCP balance %v should be worse (lower) than MPTCP %v",
+			m["ewtcp_ratio_c100"], m["mptcp_ratio_c100"])
+	}
+	if m["mptcp_jain_c100"] < 0.9 {
+		t.Errorf("MPTCP Jain index %v should be near the paper's 0.986", m["mptcp_jain_c100"])
+	}
+}
+
+func TestShapeAblationCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	e, _ := Get("ablation-cap")
+	res := e.Run(Config{Seed: 3, Scale: 0.4})
+	m := res.Metrics
+	if m["semicoupled_pktps"] > 0.8*m["mptcp_pktps"] {
+		t.Errorf("SEMICOUPLED %v should trail MPTCP %v without RTT compensation",
+			m["semicoupled_pktps"], m["mptcp_pktps"])
+	}
+}
+
+func TestShapeAblationReinject(t *testing.T) {
+	e, _ := Get("ablation-reinject")
+	res := e.Run(Config{Seed: 3, Scale: 1})
+	if res.Metrics["reinject_done"] != 1 {
+		t.Error("transfer with reinjection should finish despite path death")
+	}
+	if res.Metrics["noreinject_done"] != 0 {
+		t.Error("transfer without reinjection should strand")
+	}
+}

@@ -1,0 +1,202 @@
+// Package metrics provides measurement utilities for the simulation
+// experiments: periodic sampling into time series, throughput conversion,
+// rank distributions and basic summary statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mptcp/internal/netsim"
+	"mptcp/internal/sim"
+)
+
+// Series is a sampled time series.
+type Series struct {
+	Name  string
+	Times []sim.Time
+	Vals  []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.Times = append(s.Times, t)
+	s.Vals = append(s.Vals, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Vals) }
+
+// Mean returns the mean of the sampled values (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Vals) == 0 {
+		return 0
+	}
+	return Sum(s.Vals) / float64(len(s.Vals))
+}
+
+// MeanAfter returns the mean of samples taken at or after t, discarding
+// warm-up transients.
+func (s *Series) MeanAfter(t sim.Time) float64 {
+	var sum float64
+	var n int
+	for i, at := range s.Times {
+		if at >= t {
+			sum += s.Vals[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Sampler periodically evaluates probes and records them into series.
+type Sampler struct {
+	s        *sim.Simulator
+	interval sim.Time
+	probes   []func() (string, float64)
+	series   map[string]*Series
+	order    []string
+	stopped  bool
+}
+
+// NewSampler creates a sampler that fires every interval once Start is
+// called.
+func NewSampler(s *sim.Simulator, interval sim.Time) *Sampler {
+	return &Sampler{s: s, interval: interval, series: make(map[string]*Series)}
+}
+
+// Probe registers a named probe function evaluated at every tick.
+func (sa *Sampler) Probe(name string, fn func() float64) {
+	sa.probes = append(sa.probes, func() (string, float64) { return name, fn() })
+	sa.series[name] = &Series{Name: name}
+	sa.order = append(sa.order, name)
+}
+
+// Start schedules the first tick.
+func (sa *Sampler) Start() {
+	sa.s.After(sa.interval, sa.tick)
+}
+
+// Stop halts sampling after the current tick.
+func (sa *Sampler) Stop() { sa.stopped = true }
+
+func (sa *Sampler) tick() {
+	if sa.stopped {
+		return
+	}
+	now := sa.s.Now()
+	for _, p := range sa.probes {
+		name, v := p()
+		sa.series[name].Add(now, v)
+	}
+	sa.s.After(sa.interval, sa.tick)
+}
+
+// Series returns the series recorded under name, or nil.
+func (sa *Sampler) Series(name string) *Series { return sa.series[name] }
+
+// Names returns the probe names in registration order.
+func (sa *Sampler) Names() []string { return sa.order }
+
+// Counter derives a rate (units/second) series from successive samples of
+// a cumulative counter series.
+func (s *Series) Rate() *Series {
+	out := &Series{Name: s.Name + "/rate"}
+	for i := 1; i < len(s.Vals); i++ {
+		dt := (s.Times[i] - s.Times[i-1]).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		out.Add(s.Times[i], (s.Vals[i]-s.Vals[i-1])/dt)
+	}
+	return out
+}
+
+// ThroughputMbps converts a count of data packets transferred during dur
+// into megabits per second, using the standard 1500-byte packet.
+func ThroughputMbps(pkts int64, dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(pkts) * netsim.DataPacketSize * 8 / dur.Seconds() / 1e6
+}
+
+// PktPerSec converts a packet count over dur to packets per second.
+func PktPerSec(pkts int64, dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(pkts) / dur.Seconds()
+}
+
+// Rank returns xs sorted descending — the "rank of flow/link"
+// distribution plots of Fig. 13.
+func Rank(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - m) * (x - m)
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank on a
+// sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Fmt renders a float compactly for experiment tables.
+func Fmt(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e6:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,566 @@
+package mptcpnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"mptcp/internal/core"
+)
+
+// Scheduler selects which subflow sends the next data segment when
+// several have window space.
+type Scheduler int
+
+const (
+	// SchedLowestRTT prefers the subflow with the smallest smoothed RTT
+	// (the Linux MPTCP default).
+	SchedLowestRTT Scheduler = iota
+	// SchedRoundRobin rotates across subflows — the ablation baseline.
+	SchedRoundRobin
+)
+
+// Config parameterises a sender.
+type Config struct {
+	// Alg is the coupled congestion controller; defaults to &core.MPTCP{}.
+	Alg core.Algorithm
+	// Scheduler picks the subflow for each new segment.
+	Scheduler Scheduler
+	// MinRTO bounds the retransmission timer (default 200 ms).
+	MinRTO time.Duration
+	// Logf, if set, receives debug traces.
+	Logf func(format string, args ...any)
+}
+
+// Sender is the transmitting side of a multipath connection. It
+// implements io.WriteCloser; Write blocks when both the send buffer and
+// the network are full, providing backpressure.
+type Sender struct {
+	cfg    Config
+	connID uint64
+	subs   []*sendSubflow
+	alg    core.Algorithm
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cc      []core.Subflow
+	sendBuf [][]byte // segments not yet assigned a data sequence
+	segs    map[int64][]byte
+	dataNxt int64
+	dataUna int64
+	edge    int64 // flow-control edge (dataAck + window)
+	reinj   []int64
+	closed  bool
+	finSent bool
+	err     error
+	done    chan struct{}
+
+	// Stats, guarded by mu; read via Stats().
+	segsSent  int64
+	segsRetx  int64
+	reinjects int64
+}
+
+type sendSubflow struct {
+	id     int
+	conn   net.PacketConn
+	remote net.Addr
+	parent *Sender
+
+	sndNxt, sndUna int64
+	meta           map[int64]*sentSeg
+	dupSacks       int64
+	recover        int64
+	inRec          bool
+
+	srtt, rttvar, rto time.Duration
+	timer             *time.Timer
+	timerOn           bool
+	start             time.Time
+
+	rng *rand.Rand
+}
+
+type sentSeg struct {
+	dataSeq int64
+	sentAt  time.Time
+	sacked  bool
+	retx    bool
+}
+
+// defaultWindow is the conservative flow-control edge assumed until the
+// first ACK advertises the receiver's real shared-buffer window.
+const defaultWindow = 64
+
+// NewSender builds a sender whose subflow i talks over conns[i] to
+// remotes[i]. The caller owns the PacketConns until Close.
+func NewSender(connID uint64, conns []net.PacketConn, remotes []net.Addr, cfg Config) *Sender {
+	if len(conns) == 0 || len(conns) != len(remotes) {
+		panic("mptcpnet: need one remote per subflow conn")
+	}
+	if cfg.Alg == nil {
+		cfg.Alg = &core.MPTCP{}
+	}
+	if cfg.MinRTO <= 0 {
+		cfg.MinRTO = 200 * time.Millisecond
+	}
+	s := &Sender{
+		cfg:    cfg,
+		connID: connID,
+		alg:    cfg.Alg,
+		segs:   make(map[int64][]byte),
+		edge:   defaultWindow,
+		done:   make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	now := time.Now()
+	for i := range conns {
+		sf := &sendSubflow{
+			id:     i,
+			conn:   conns[i],
+			remote: remotes[i],
+			parent: s,
+			meta:   make(map[int64]*sentSeg),
+			rto:    time.Second,
+			start:  now,
+			rng:    rand.New(rand.NewSource(int64(connID)*31 + int64(i))),
+		}
+		s.subs = append(s.subs, sf)
+		s.cc = append(s.cc, core.Subflow{Cwnd: 2, SSThresh: 1 << 30})
+	}
+	for _, sf := range s.subs {
+		go sf.readLoop()
+	}
+	return s
+}
+
+// Write queues p for transmission, blocking on flow control. It
+// implements io.Writer over the data stream.
+func (s *Sender) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("mptcpnet: write on closed sender")
+	}
+	n := 0
+	for len(p) > 0 {
+		seg := p
+		if len(seg) > MaxPayload {
+			seg = seg[:MaxPayload]
+		}
+		// Backpressure: cap the unassigned queue — but keep the network
+		// pumped before blocking, or nothing would ever drain it.
+		if len(s.sendBuf) > 1024 {
+			s.pumpLocked()
+			for len(s.sendBuf) > 1024 && s.err == nil && !s.closed {
+				s.cond.Wait()
+			}
+		}
+		if s.err != nil {
+			return n, s.err
+		}
+		buf := make([]byte, len(seg))
+		copy(buf, seg)
+		s.sendBuf = append(s.sendBuf, buf)
+		p = p[len(seg):]
+		n += len(seg)
+	}
+	s.pumpLocked()
+	return n, nil
+}
+
+// Close marks the end of the stream; the FIN is delivered reliably. It
+// does not wait for acknowledgment — use Wait.
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.pumpLocked()
+	return nil
+}
+
+// Wait blocks until all data (and the FIN) has been acknowledged, or the
+// timeout expires.
+func (s *Sender) Wait(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.finishedLocked() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mptcpnet: %d segments unacked at timeout", s.dataNxt-s.dataUna)
+		}
+		s.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		s.mu.Lock()
+	}
+	return nil
+}
+
+func (s *Sender) finishedLocked() bool {
+	return s.closed && len(s.sendBuf) == 0 && s.dataUna >= s.dataNxt && s.finSent
+}
+
+// Cwnd returns subflow i's congestion window in segments.
+func (s *Sender) Cwnd(i int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cc[i].Cwnd
+}
+
+// Stats returns the sender's counters: data segments transmitted,
+// subflow-level retransmissions, and data reinjections onto other
+// subflows after timeouts.
+func (s *Sender) Stats() (sent, retx, reinjects int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segsSent, s.segsRetx, s.reinjects
+}
+
+// SubflowSent returns the count of segments assigned to subflow i.
+func (s *Sender) SubflowSent(i int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.subs[i].sndNxt
+}
+
+// popData returns the next data sequence to send, preferring
+// reinjections; ok=false when nothing is sendable.
+func (s *Sender) popDataLocked() (seq int64, fin bool, ok bool) {
+	for len(s.reinj) > 0 {
+		d := s.reinj[0]
+		s.reinj = s.reinj[1:]
+		if d >= s.dataUna {
+			if _, have := s.segs[d]; have {
+				return d, false, true
+			}
+		}
+	}
+	if len(s.sendBuf) == 0 {
+		if s.closed && !s.finSent && s.dataNxt >= s.dataUna {
+			return 0, true, true
+		}
+		return 0, false, false
+	}
+	if s.dataNxt >= s.edge {
+		return 0, false, false // flow control
+	}
+	seq = s.dataNxt
+	s.segs[seq] = s.sendBuf[0]
+	s.sendBuf = s.sendBuf[1:]
+	s.dataNxt++
+	s.cond.Broadcast()
+	return seq, false, true
+}
+
+// pumpLocked lets every subflow with window space transmit, in scheduler
+// order — the paper's striping across subflows as windows open.
+func (s *Sender) pumpLocked() {
+	for {
+		sf := s.pickLocked()
+		if sf == nil {
+			return
+		}
+		seq, fin, ok := s.popDataLocked()
+		if !ok {
+			return
+		}
+		if fin {
+			s.finSent = true
+			sf.sendFin()
+			return
+		}
+		sf.sendData(seq)
+	}
+}
+
+// pickLocked returns the schedulable subflow preferred by the configured
+// scheduler, or nil.
+func (s *Sender) pickLocked() *sendSubflow {
+	var best *sendSubflow
+	for _, sf := range s.subs {
+		w := int64(s.cc[sf.id].Cwnd)
+		if w < 1 {
+			w = 1
+		}
+		if sf.sndNxt-sf.sndUna >= w || sf.inRec {
+			continue
+		}
+		if best == nil {
+			best = sf
+			continue
+		}
+		switch s.cfg.Scheduler {
+		case SchedRoundRobin:
+			if sf.sndNxt < best.sndNxt {
+				best = sf
+			}
+		default: // SchedLowestRTT
+			if sf.srtt > 0 && (best.srtt == 0 || sf.srtt < best.srtt) {
+				best = sf
+			}
+		}
+	}
+	return best
+}
+
+func (s *Sender) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// --- subflow send machinery (all called with s.mu held unless noted) ---
+
+func (sf *sendSubflow) elapsedMicros() uint32 {
+	return uint32(time.Since(sf.start) / time.Microsecond)
+}
+
+func (sf *sendSubflow) sendData(dataSeq int64) {
+	s := sf.parent
+	seq := sf.sndNxt
+	sf.sndNxt++
+	sf.meta[seq] = &sentSeg{dataSeq: dataSeq, sentAt: time.Now()}
+	sf.transmit(seq, false)
+	s.segsSent++
+}
+
+func (sf *sendSubflow) transmit(seq int64, retx bool) {
+	s := sf.parent
+	m := sf.meta[seq]
+	if m == nil {
+		return
+	}
+	payload := s.segs[m.dataSeq]
+	h := header{
+		Type:    typeData,
+		Subflow: uint16(sf.id),
+		ConnID:  s.connID,
+		Seq:     seq,
+		DataSeq: m.dataSeq,
+		Echo:    sf.elapsedMicros(),
+		Plen:    uint16(len(payload)),
+	}
+	buf := make([]byte, headerSize+len(payload))
+	h.marshal(buf)
+	copy(buf[headerSize:], payload)
+	m.sentAt = time.Now()
+	m.retx = m.retx || retx
+	if retx {
+		s.segsRetx++
+	}
+	// Arm only if no timer is pending: the RTO must track the oldest
+	// outstanding segment, not the most recent transmission.
+	if !sf.timerOn {
+		sf.armTimer()
+	}
+	// Socket writes happen outside the lock on a copy.
+	go sf.conn.WriteTo(buf, sf.remote) //nolint:errcheck // lossy path semantics
+}
+
+func (sf *sendSubflow) sendFin() {
+	s := sf.parent
+	h := header{
+		Type:    typeFin,
+		Subflow: uint16(sf.id),
+		ConnID:  s.connID,
+		Aux:     s.dataNxt,
+		Echo:    sf.elapsedMicros(),
+	}
+	buf := make([]byte, headerSize)
+	h.marshal(buf)
+	go sf.conn.WriteTo(buf, sf.remote) //nolint:errcheck
+	// Retransmit the FIN until everything is acked.
+	time.AfterFunc(s.cfg.MinRTO, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.finishedLockedFin() {
+			sf.sendFin()
+		}
+	})
+}
+
+func (s *Sender) finishedLockedFin() bool {
+	return s.dataUna >= s.dataNxt && len(s.sendBuf) == 0
+}
+
+// readLoop consumes ACKs for one subflow. Runs unlocked; state updates
+// take the connection lock.
+func (sf *sendSubflow) readLoop() {
+	buf := make([]byte, 2048)
+	for {
+		n, _, err := sf.conn.ReadFrom(buf)
+		if err != nil {
+			return // socket closed
+		}
+		var h header
+		if h.unmarshal(buf[:n]) != nil || h.ConnID != sf.parent.connID {
+			continue
+		}
+		if h.Type != typeAck {
+			continue
+		}
+		sf.parent.handleAck(sf, &h)
+	}
+}
+
+func (s *Sender) handleAck(sf *sendSubflow, h *header) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Data-level bookkeeping (§6: explicit data ack + shared window).
+	if h.DataSeq > s.dataUna {
+		for d := s.dataUna; d < h.DataSeq; d++ {
+			delete(s.segs, d)
+		}
+		s.dataUna = h.DataSeq
+	}
+	if e := h.DataSeq + int64(h.Window); e > s.edge {
+		s.edge = e
+	}
+
+	// SACK scoreboard.
+	newInfo := false
+	if h.Flags&flagSack != 0 {
+		if m := sf.meta[h.Aux]; m != nil && !m.sacked {
+			m.sacked = true
+			newInfo = true
+		}
+	}
+
+	ack := h.Seq
+	switch {
+	case ack > sf.sndUna:
+		newly := ack - sf.sndUna
+		for seq := sf.sndUna; seq < ack; seq++ {
+			delete(sf.meta, seq)
+		}
+		sf.sndUna = ack
+		sf.sampleRTT(time.Duration(sf.elapsedMicros()-h.Echo) * time.Microsecond)
+		cc := &s.cc[sf.id]
+		if sf.inRec && ack >= sf.recover {
+			sf.inRec = false
+			sf.dupSacks = 0
+		}
+		if !sf.inRec {
+			for i := int64(0); i < newly; i++ {
+				if cc.Cwnd < cc.SSThresh {
+					cc.Cwnd++
+				} else {
+					cc.Cwnd += s.alg.Increase(s.cc, sf.id)
+				}
+			}
+		}
+		sf.armTimer()
+	case ack == sf.sndUna && newInfo && !sf.inRec:
+		sf.dupSacks++
+		if sf.dupSacks >= 3 {
+			s.fastRetransmit(sf)
+		}
+	}
+	s.pumpLocked()
+}
+
+// fastRetransmit halves the window once and retransmits all unsacked
+// segments below the highest sacked sequence.
+func (s *Sender) fastRetransmit(sf *sendSubflow) {
+	cc := &s.cc[sf.id]
+	cc.Cwnd = s.alg.Decrease(s.cc, sf.id)
+	cc.SSThresh = cc.Cwnd
+	sf.inRec = true
+	sf.recover = sf.sndNxt
+	sf.dupSacks = 0
+	high := int64(-1)
+	for seq, m := range sf.meta {
+		if m.sacked && seq > high {
+			high = seq
+		}
+	}
+	for seq := sf.sndUna; seq < high; seq++ {
+		if m := sf.meta[seq]; m != nil && !m.sacked && !m.retx {
+			sf.transmit(seq, true)
+		}
+	}
+	s.logf("sf%d fast retransmit, cwnd=%.1f", sf.id, cc.Cwnd)
+}
+
+// onRTO collapses the window, retransmits the front and reinjects
+// outstanding data onto the other subflows.
+func (sf *sendSubflow) onRTO() {
+	s := sf.parent
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sf.timerOn = false
+	if sf.sndNxt == sf.sndUna {
+		return
+	}
+	cc := &s.cc[sf.id]
+	cc.SSThresh = s.alg.Decrease(s.cc, sf.id)
+	if cc.SSThresh < 2 {
+		cc.SSThresh = 2
+	}
+	cc.Cwnd = 1
+	sf.inRec = false
+	sf.dupSacks = 0
+	for seq, m := range sf.meta {
+		if m.sacked || seq < sf.sndUna {
+			continue
+		}
+		// Earlier retransmissions are presumed lost too; clearing the
+		// mark lets the next fast recovery retransmit them again.
+		m.retx = false
+		if len(s.subs) > 1 {
+			s.reinj = append(s.reinj, m.dataSeq)
+			s.reinjects++
+		}
+	}
+	sf.transmit(sf.sndUna, true)
+	sf.rto *= 2
+	if sf.rto > 60*time.Second {
+		sf.rto = 60 * time.Second
+	}
+	sf.armTimer()
+	s.pumpLocked()
+}
+
+func (sf *sendSubflow) sampleRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if sf.srtt == 0 {
+		sf.srtt, sf.rttvar = rtt, rtt/2
+	} else {
+		diff := sf.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		sf.rttvar = (3*sf.rttvar + diff) / 4
+		sf.srtt = (7*sf.srtt + rtt) / 8
+	}
+	sf.parent.cc[sf.id].SRTT = sf.srtt.Seconds()
+	rto := sf.srtt + 4*sf.rttvar
+	if rto < sf.parent.cfg.MinRTO {
+		rto = sf.parent.cfg.MinRTO
+	}
+	sf.rto = rto
+}
+
+func (sf *sendSubflow) armTimer() {
+	if sf.timer != nil {
+		sf.timer.Stop()
+	}
+	sf.timerOn = false
+	if sf.sndNxt == sf.sndUna {
+		return
+	}
+	sf.timerOn = true
+	sf.timer = time.AfterFunc(sf.rto, sf.onRTO)
+}
+
+var _ io.WriteCloser = (*Sender)(nil)

@@ -1,0 +1,69 @@
+package mptcpnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// EmuPath wraps a net.PacketConn and emulates path characteristics on
+// outgoing packets: one-way delay, i.i.d. loss, and a token-bucket rate
+// limit. It substitutes for the paper's heterogeneous radio links (WiFi
+// vs 3G) when exercising the stack over loopback.
+type EmuPath struct {
+	net.PacketConn
+	Delay    time.Duration
+	LossRate float64
+	RateBps  float64 // 0 = unlimited
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nextFree time.Time
+
+	Dropped int64
+	Sent    int64
+}
+
+// NewEmuPath wraps conn with the given one-way delay and loss rate.
+func NewEmuPath(conn net.PacketConn, delay time.Duration, loss float64, rateBps float64, seed int64) *EmuPath {
+	return &EmuPath{
+		PacketConn: conn,
+		Delay:      delay,
+		LossRate:   loss,
+		RateBps:    rateBps,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// WriteTo applies loss, serialisation and delay, then forwards the packet.
+func (e *EmuPath) WriteTo(p []byte, addr net.Addr) (int, error) {
+	e.mu.Lock()
+	if e.LossRate > 0 && e.rng.Float64() < e.LossRate {
+		e.Dropped++
+		e.mu.Unlock()
+		return len(p), nil // silently eaten, like a radio fade
+	}
+	delay := e.Delay
+	if e.RateBps > 0 {
+		tx := time.Duration(float64(len(p)*8) / e.RateBps * float64(time.Second))
+		now := time.Now()
+		if e.nextFree.Before(now) {
+			e.nextFree = now
+		}
+		e.nextFree = e.nextFree.Add(tx)
+		delay += e.nextFree.Sub(now)
+	}
+	e.Sent++
+	e.mu.Unlock()
+
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	if delay <= 0 {
+		return e.PacketConn.WriteTo(buf, addr)
+	}
+	time.AfterFunc(delay, func() {
+		e.PacketConn.WriteTo(buf, addr) //nolint:errcheck
+	})
+	return len(p), nil
+}

@@ -1,0 +1,299 @@
+package mptcpnet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"mptcp/internal/core"
+)
+
+// pipePair builds one emulated UDP path on loopback and returns the
+// sender-side and receiver-side PacketConns plus the receiver's address.
+func pipePair(t *testing.T, delay time.Duration, loss, rateBps float64, seed int64) (snd net.PacketConn, rcv net.PacketConn, raddr net.Addr) {
+	t.Helper()
+	a, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	// Shape both directions identically.
+	return NewEmuPath(a, delay, loss, rateBps, seed),
+		NewEmuPath(b, delay, loss/4, 0, seed+1), // ACK path: lighter loss, no cap
+		b.LocalAddr()
+}
+
+// transfer pushes size bytes through a multipath connection and verifies
+// integrity end to end.
+func transfer(t *testing.T, size int, paths int, mk func(i int) (net.PacketConn, net.PacketConn, net.Addr), cfg Config, timeout time.Duration) (*Sender, *Receiver) {
+	t.Helper()
+	var sConns, rConns []net.PacketConn
+	var remotes []net.Addr
+	for i := 0; i < paths; i++ {
+		s, r, ra := mk(i)
+		sConns = append(sConns, s)
+		rConns = append(rConns, r)
+		remotes = append(remotes, ra)
+	}
+	const connID = 77
+	rx := NewReceiver(connID, rConns, 512)
+	tx := NewSender(connID, sConns, remotes, cfg)
+
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	wantSum := sha256.Sum256(data)
+
+	errc := make(chan error, 1)
+	go func() {
+		if _, err := tx.Write(data); err != nil {
+			errc <- err
+			return
+		}
+		errc <- tx.Close()
+	}()
+
+	got := make([]byte, 0, size)
+	buf := make([]byte, 64<<10)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			n, err := rx.Read(buf)
+			got = append(got, buf[:n]...)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatalf("transfer timed out: got %d/%d bytes", len(got), size)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if len(got) != size {
+		t.Fatalf("received %d bytes, want %d", len(got), size)
+	}
+	if sha256.Sum256(got) != wantSum {
+		t.Fatal("data corrupted in transit")
+	}
+	return tx, rx
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	h := header{
+		Type: typeAck, Flags: flagSack, Subflow: 3, ConnID: 12345,
+		Seq: 111, DataSeq: 222, Aux: 333, Window: 44, Echo: 55, Plen: 0,
+	}
+	buf := make([]byte, headerSize)
+	h.marshal(buf)
+	var g header
+	if err := g.unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if g != h {
+		t.Errorf("round trip: got %+v want %+v", g, h)
+	}
+}
+
+func TestWireRejectsShort(t *testing.T) {
+	var h header
+	if err := h.unmarshal(make([]byte, headerSize-1)); err == nil {
+		t.Error("short packet accepted")
+	}
+	// Payload length larger than the datagram must be rejected.
+	good := header{Type: typeData, Plen: 100}
+	buf := make([]byte, headerSize)
+	good.marshal(buf)
+	if err := h.unmarshal(buf); err == nil {
+		t.Error("overlong Plen accepted")
+	}
+}
+
+func TestSinglePathClean(t *testing.T) {
+	transfer(t, 200<<10, 1, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+		return pipePair(t, time.Millisecond, 0, 0, int64(i))
+	}, Config{}, 30*time.Second)
+}
+
+func TestTwoPathsClean(t *testing.T) {
+	tx, rx := transfer(t, 500<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+		return pipePair(t, time.Millisecond, 0, 0, int64(i))
+	}, Config{}, 30*time.Second)
+	if rx.SubflowReceived(0) == 0 || rx.SubflowReceived(1) == 0 {
+		t.Errorf("both subflows should carry data: %d/%d", rx.SubflowReceived(0), rx.SubflowReceived(1))
+	}
+	if sent, _, _ := tx.Stats(); sent == 0 {
+		t.Error("sender reported no segments")
+	}
+}
+
+func TestLossyPathRecovery(t *testing.T) {
+	tx, _ := transfer(t, 300<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+		return pipePair(t, 2*time.Millisecond, 0.03, 0, 100+int64(i))
+	}, Config{}, 60*time.Second)
+	if _, retx, _ := tx.Stats(); retx == 0 {
+		t.Error("3% loss must cause retransmissions")
+	}
+}
+
+func TestHeterogeneousPaths(t *testing.T) {
+	// A fast clean path and a slow lossy one, as in §5.
+	transfer(t, 400<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+		if i == 0 {
+			return pipePair(t, time.Millisecond, 0.005, 20e6, 200)
+		}
+		return pipePair(t, 20*time.Millisecond, 0.02, 2e6, 201)
+	}, Config{}, 60*time.Second)
+}
+
+func TestCoupledAlgorithmsOverSockets(t *testing.T) {
+	for _, name := range []string{"EWTCP", "COUPLED", "SEMICOUPLED", "MPTCP"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			alg, err := core.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			transfer(t, 100<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+				return pipePair(t, time.Millisecond, 0.01, 0, 300+int64(i))
+			}, Config{Alg: alg}, 60*time.Second)
+		})
+	}
+}
+
+func TestSchedulerRoundRobin(t *testing.T) {
+	// Rate-limited paths so the transfer spans many RTTs and the
+	// scheduler's balance is observable.
+	_, rx := transfer(t, 300<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+		return pipePair(t, time.Millisecond, 0, 10e6, 400+int64(i))
+	}, Config{Scheduler: SchedRoundRobin}, 30*time.Second)
+	// Round robin on identical paths should split roughly evenly.
+	a, b := float64(rx.SubflowReceived(0)), float64(rx.SubflowReceived(1))
+	if a == 0 || b == 0 {
+		t.Fatalf("a subflow carried nothing: %v/%v", a, b)
+	}
+	ratio := a / b
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("round-robin split %v/%v is too skewed", a, b)
+	}
+}
+
+func TestPathDeathReinjection(t *testing.T) {
+	var emus []*EmuPath
+	tx, _ := transferWithSetup(t, 400<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+		// ~4 Mb/s per path so the 400 KB transfer spans ~400 ms.
+		s, r, ra := pipePair(t, time.Millisecond, 0, 4e6, 500+int64(i))
+		emus = append(emus, s.(*EmuPath))
+		return s, r, ra
+	}, Config{}, 60*time.Second, func() {
+		// Kill path 1 shortly after the transfer starts.
+		time.AfterFunc(50*time.Millisecond, func() {
+			emus[1].mu.Lock()
+			emus[1].LossRate = 1.0
+			emus[1].mu.Unlock()
+		})
+	})
+	if _, _, reinj := tx.Stats(); reinj == 0 {
+		t.Error("path death should have triggered data reinjection")
+	}
+}
+
+// transferWithSetup is transfer with a pre-start hook.
+func transferWithSetup(t *testing.T, size, paths int, mk func(i int) (net.PacketConn, net.PacketConn, net.Addr), cfg Config, timeout time.Duration, setup func()) (*Sender, *Receiver) {
+	t.Helper()
+	setupDone := setup
+	if setupDone != nil {
+		setupDone()
+	}
+	return transfer(t, size, paths, mk, cfg, timeout)
+}
+
+func TestLargeTransferExceedsSendBuffer(t *testing.T) {
+	// Regression: a single Write larger than the sender's internal
+	// 1024-segment queue must pump the network before blocking on
+	// backpressure, or the transfer deadlocks before the first packet.
+	_, rx := transfer(t, 2<<20, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+		return pipePair(t, time.Millisecond, 0, 40e6, 800+int64(i))
+	}, Config{}, 120*time.Second)
+	if _, _, ovf := rx.Stats(); ovf > 0 {
+		t.Errorf("receive buffer overflowed %d times despite flow control", ovf)
+	}
+}
+
+func TestSenderWriteAfterClose(t *testing.T) {
+	a, _ := net.ListenPacket("udp", "127.0.0.1:0")
+	defer a.Close()
+	s := NewSender(1, []net.PacketConn{a}, []net.Addr{a.LocalAddr()}, Config{})
+	s.Close()
+	if _, err := s.Write([]byte("x")); err == nil {
+		t.Error("write after close should fail")
+	}
+}
+
+func TestReceiverEOFOnlyAfterAllData(t *testing.T) {
+	s, r, ra := pipePair(t, time.Millisecond, 0, 0, 600)
+	_ = ra
+	rx := NewReceiver(9, []net.PacketConn{r}, 64)
+	defer rx.Close()
+	_ = s
+	// No FIN: Read must block, not EOF.
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 16)
+		rx.Read(buf) //nolint:errcheck
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Error("Read returned with no data and no FIN")
+	case <-time.After(100 * time.Millisecond):
+	}
+	rx.Close()
+}
+
+func TestFlowControlSharedBuffer(t *testing.T) {
+	// A tiny receive buffer with a reader that drains slowly: the sender
+	// must respect the advertised window rather than overflow.
+	sA, rA, raA := pipePair(t, time.Millisecond, 0, 0, 700)
+	const connID = 13
+	rx := NewReceiver(connID, []net.PacketConn{rA}, 16)
+	tx := NewSender(connID, []net.PacketConn{sA}, []net.Addr{raA}, Config{})
+	data := bytes.Repeat([]byte("flowctl!"), 64<<10/8) // 64 KB
+	go func() {
+		tx.Write(data) //nolint:errcheck
+		tx.Close()
+	}()
+	got := 0
+	buf := make([]byte, 4096)
+	deadline := time.Now().Add(60 * time.Second)
+	for got < len(data) {
+		if time.Now().After(deadline) {
+			t.Fatalf("slow-reader transfer stalled at %d/%d", got, len(data))
+		}
+		n, err := rx.Read(buf)
+		got += n
+		if err == io.EOF {
+			break
+		}
+		time.Sleep(time.Millisecond) // slow application
+	}
+	if got != len(data) {
+		t.Errorf("got %d bytes, want %d", got, len(data))
+	}
+}

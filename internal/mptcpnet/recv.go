@@ -1,0 +1,242 @@
+package mptcpnet
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Receiver is the receiving side of a multipath connection: it reads
+// segments from every subflow socket, acknowledges them (subflow ack +
+// explicit data ack + shared-buffer window, per §6), reassembles the data
+// stream and serves it through Read.
+type Receiver struct {
+	connID uint64
+	conns  []net.PacketConn
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	subRcvNxt []int64
+	subOOO    []map[int64]struct{}
+	segs      map[int64][]byte
+	dataNxt   int64
+	finSeq    int64 // end-of-stream data sequence, -1 until FIN seen
+	readBuf   []byte
+	bufCap    int64 // shared receive buffer, segments
+	held      int64
+	closed    bool
+
+	// Stats, guarded by mu; read via Stats() and SubflowReceived().
+	segsRecvd    int64
+	dupData      int64
+	overflow     int64 // segments refused by the shared buffer
+	subflowRecvd []int64
+}
+
+// NewReceiver builds a receiver listening on the given subflow sockets.
+// bufSegments is the shared receive buffer size in segments (default 256
+// if <= 0).
+func NewReceiver(connID uint64, conns []net.PacketConn, bufSegments int64) *Receiver {
+	if bufSegments <= 0 {
+		bufSegments = 256
+	}
+	r := &Receiver{
+		connID:       connID,
+		conns:        conns,
+		subRcvNxt:    make([]int64, len(conns)),
+		subOOO:       make([]map[int64]struct{}, len(conns)),
+		segs:         make(map[int64][]byte),
+		finSeq:       -1,
+		bufCap:       bufSegments,
+		subflowRecvd: make([]int64, len(conns)),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i := range r.subOOO {
+		r.subOOO[i] = make(map[int64]struct{})
+	}
+	for i := range conns {
+		go r.readLoop(i)
+	}
+	return r
+}
+
+// Read returns in-order stream data, blocking until some is available or
+// the stream ends (io.EOF).
+func (r *Receiver) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.readBuf) == 0 {
+		if r.finSeq >= 0 && r.dataNxt >= r.finSeq {
+			return 0, io.EOF
+		}
+		if r.closed {
+			return 0, io.ErrClosedPipe
+		}
+		r.cond.Wait()
+	}
+	n := copy(p, r.readBuf)
+	r.readBuf = r.readBuf[n:]
+	return n, nil
+}
+
+// Close stops the receiver (the sockets themselves belong to the caller).
+func (r *Receiver) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return nil
+}
+
+// Received returns the count of distinct data segments delivered so far.
+func (r *Receiver) Received() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dataNxt
+}
+
+// Stats returns the receiver's counters: segments received (including
+// duplicates), duplicate-data arrivals, and segments refused by the
+// shared buffer.
+func (r *Receiver) Stats() (recvd, dupData, overflow int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.segsRecvd, r.dupData, r.overflow
+}
+
+// SubflowReceived returns the count of distinct data segments that
+// arrived via subflow i (per-path goodput).
+func (r *Receiver) SubflowReceived(i int) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.subflowRecvd[i]
+}
+
+func (r *Receiver) window() int64 {
+	w := r.bufCap - r.held
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+func (r *Receiver) readLoop(sub int) {
+	buf := make([]byte, 2048)
+	for {
+		n, from, err := r.conns[sub].ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		var h header
+		if h.unmarshal(buf[:n]) != nil || h.ConnID != r.connID {
+			continue
+		}
+		switch h.Type {
+		case typeData:
+			payload := make([]byte, h.Plen)
+			copy(payload, buf[headerSize:headerSize+int(h.Plen)])
+			r.onData(sub, &h, payload, from)
+		case typeFin:
+			r.onFin(sub, &h, from)
+		case typeProbe:
+			r.ack(sub, h.Echo, -1, from)
+		}
+	}
+}
+
+func (r *Receiver) onData(sub int, h *header, payload []byte, from net.Addr) {
+	r.mu.Lock()
+	r.segsRecvd++
+
+	// Shared-buffer admission first (§6): data beyond the buffer edge is
+	// treated exactly like a network loss — no subflow state changes and
+	// no ACK — so subflow-level retransmission recovers it once the
+	// window reopens. Admitting the subflow sequence while dropping the
+	// data would acknowledge a segment whose payload nobody will resend.
+	if h.DataSeq >= r.dataNxt+r.bufCap {
+		r.overflow++
+		r.mu.Unlock()
+		return
+	}
+
+	sack := int64(-1)
+	seq := h.Seq
+	switch {
+	case seq == r.subRcvNxt[sub]:
+		r.subRcvNxt[sub]++
+		for {
+			if _, ok := r.subOOO[sub][r.subRcvNxt[sub]]; !ok {
+				break
+			}
+			delete(r.subOOO[sub], r.subRcvNxt[sub])
+			r.subRcvNxt[sub]++
+		}
+	case seq > r.subRcvNxt[sub]:
+		if _, dup := r.subOOO[sub][seq]; !dup {
+			sack = seq // new SACK information only (RFC 6675)
+		}
+		r.subOOO[sub][seq] = struct{}{}
+	}
+
+	d := h.DataSeq
+	if d < r.dataNxt {
+		r.dupData++
+	} else if _, dup := r.segs[d]; dup {
+		r.dupData++
+	} else {
+		r.segs[d] = payload
+		r.held++
+		r.subflowRecvd[sub]++
+		for {
+			seg, ok := r.segs[r.dataNxt]
+			if !ok {
+				break
+			}
+			r.readBuf = append(r.readBuf, seg...)
+			delete(r.segs, r.dataNxt)
+			r.held--
+			r.dataNxt++
+		}
+		r.cond.Broadcast()
+	}
+	echo := h.Echo
+	r.mu.Unlock()
+	r.ack(sub, echo, sack, from)
+}
+
+func (r *Receiver) onFin(sub int, h *header, from net.Addr) {
+	r.mu.Lock()
+	if r.finSeq < 0 || h.Aux < r.finSeq {
+		r.finSeq = h.Aux
+	}
+	r.cond.Broadcast()
+	echo := h.Echo
+	r.mu.Unlock()
+	r.ack(sub, echo, -1, from)
+}
+
+// ack emits the §6 acknowledgment: subflow cumulative ack, explicit data
+// ack, shared-buffer window and echoed timestamp (+ optional SACK).
+func (r *Receiver) ack(sub int, echo uint32, sack int64, to net.Addr) {
+	r.mu.Lock()
+	h := header{
+		Type:    typeAck,
+		Subflow: uint16(sub),
+		ConnID:  r.connID,
+		Seq:     r.subRcvNxt[sub],
+		DataSeq: r.dataNxt,
+		Window:  uint32(r.window()),
+		Echo:    echo,
+	}
+	if sack >= 0 {
+		h.Flags |= flagSack
+		h.Aux = sack
+	}
+	conn := r.conns[sub]
+	r.mu.Unlock()
+	buf := make([]byte, headerSize)
+	h.marshal(buf)
+	conn.WriteTo(buf, to) //nolint:errcheck // lossy path semantics
+}
+
+var _ io.Reader = (*Receiver)(nil)

@@ -1,0 +1,108 @@
+// Package mptcpnet is a userspace Multipath TCP implementation over UDP,
+// realising the protocol design of §6 of the paper with real sockets and
+// goroutines:
+//
+//   - one UDP subflow per path, each with its own sequence space and
+//     RFC 6298-style retransmission timer;
+//   - a connection-level data sequence number on every data segment and
+//     an explicit data acknowledgment on every ACK (§6 shows inferring
+//     data ACKs from subflow ACKs is unsound);
+//   - a single shared receive buffer whose window is advertised relative
+//     to the data-level cumulative ACK;
+//   - data-level reinjection after a subflow timeout, so a dead path
+//     cannot strand the stream;
+//   - coupled congestion control from internal/core — the identical
+//     algorithm code that drives the packet-level simulator.
+//
+// The package substitutes for the paper's Linux kernel implementation:
+// real multihomed interfaces are replaced by multiple UDP 5-tuples
+// (optionally shaped by the Emu path emulator), which is exactly the kind
+// of path diversity the paper exploits via ECMP in §7.
+package mptcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Segment types.
+const (
+	typeData  = 1
+	typeAck   = 2
+	typeSyn   = 3 // subflow join: carries connID and subflow index
+	typeFin   = 4 // end of data stream (carries final dataSeq)
+	typeProbe = 5 // zero-window probe
+)
+
+const (
+	flagSack = 1 << 0
+	flagFin  = 1 << 1
+)
+
+// headerSize is the fixed wire header length in bytes.
+const headerSize = 46
+
+// MaxPayload is the data payload carried per segment. It is chosen so
+// header+payload fits comfortably in a 1500-byte MTU over UDP/IP.
+const MaxPayload = 1200
+
+// header is the wire header shared by all segment types.
+//
+//	0   type(1) flags(1) subflow(2)
+//	4   connID(8)
+//	12  seq(8)      subflow sequence (DATA) / cumulative subflow ack (ACK)
+//	20  dataSeq(8)  data sequence (DATA) / cumulative data ack (ACK)
+//	28  aux(8)      SACK seq (ACK) / final data seq (FIN)
+//	36  window(4)   receive window in segments (ACK)
+//	40  echo(4)     truncated timestamp echo, microseconds
+//	44  plen(2)
+type header struct {
+	Type    byte
+	Flags   byte
+	Subflow uint16
+	ConnID  uint64
+	Seq     int64
+	DataSeq int64
+	Aux     int64
+	Window  uint32
+	Echo    uint32
+	Plen    uint16
+}
+
+var errShortPacket = errors.New("mptcpnet: short packet")
+
+func (h *header) marshal(buf []byte) []byte {
+	buf = buf[:headerSize]
+	buf[0] = h.Type
+	buf[1] = h.Flags
+	binary.BigEndian.PutUint16(buf[2:], h.Subflow)
+	binary.BigEndian.PutUint64(buf[4:], h.ConnID)
+	binary.BigEndian.PutUint64(buf[12:], uint64(h.Seq))
+	binary.BigEndian.PutUint64(buf[20:], uint64(h.DataSeq))
+	binary.BigEndian.PutUint64(buf[28:], uint64(h.Aux))
+	binary.BigEndian.PutUint32(buf[36:], h.Window)
+	binary.BigEndian.PutUint32(buf[40:], h.Echo)
+	binary.BigEndian.PutUint16(buf[44:], h.Plen)
+	return buf
+}
+
+func (h *header) unmarshal(buf []byte) error {
+	if len(buf) < headerSize {
+		return errShortPacket
+	}
+	h.Type = buf[0]
+	h.Flags = buf[1]
+	h.Subflow = binary.BigEndian.Uint16(buf[2:])
+	h.ConnID = binary.BigEndian.Uint64(buf[4:])
+	h.Seq = int64(binary.BigEndian.Uint64(buf[12:]))
+	h.DataSeq = int64(binary.BigEndian.Uint64(buf[20:]))
+	h.Aux = int64(binary.BigEndian.Uint64(buf[28:]))
+	h.Window = binary.BigEndian.Uint32(buf[36:])
+	h.Echo = binary.BigEndian.Uint32(buf[40:])
+	h.Plen = binary.BigEndian.Uint16(buf[44:])
+	if int(h.Plen) > len(buf)-headerSize {
+		return fmt.Errorf("mptcpnet: payload length %d exceeds packet", h.Plen)
+	}
+	return nil
+}

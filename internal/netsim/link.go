@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mptcp/internal/sim"
+)
+
+// Link models a unidirectional store-and-forward link: a drop-tail FIFO
+// queue measured in packets, serialisation at RateBps, then PropDelay of
+// propagation. A Link may additionally drop arriving packets at random
+// (LossRate), modelling wireless interference as in §5 of the paper, and
+// its rate may be changed mid-run (SetRate) or the link taken down/up
+// (SetDown), modelling coverage changes in the mobility experiment
+// (Fig. 17).
+//
+// The queue is simulated implicitly: each accepted packet is assigned a
+// departure time, one event per packet per hop. Queue occupancy at time t
+// is the number of accepted packets whose departure is still in the
+// future, which the implementation tracks with a FIFO of departure times
+// purged lazily. This halves the event count versus separate
+// transmit-complete/arrival events and is the main reason the simulator
+// sustains tens of millions of packet-hops per second.
+type Link struct {
+	Name      string
+	RateBps   float64  // line rate, bits per second
+	PropDelay sim.Time // one-way propagation delay
+	QueueCap  int      // drop-tail buffer size in packets (incl. the one in service)
+	LossRate  float64  // i.i.d. random drop probability on arrival
+
+	down bool
+
+	// lastDepart is the departure time of the most recently accepted
+	// packet; departs holds departure times of accepted packets not yet
+	// departed (the implicit queue).
+	lastDepart sim.Time
+	departs    []sim.Time
+	head       int // index of first live entry in departs
+
+	Stats LinkStats
+}
+
+// LinkStats accumulates per-link counters. Loss rate and utilisation for
+// the paper's figures are derived from these.
+type LinkStats struct {
+	Arrivals   int64 // packets offered to the link
+	Drops      int64 // drop-tail + random losses
+	RandomLoss int64 // subset of Drops caused by LossRate
+	Departures int64 // packets that completed serialisation
+	BytesSent  int64 // bytes of packets that completed serialisation
+	BusyTime   sim.Time
+}
+
+// LossFraction returns Drops/Arrivals, the per-link loss rate used in
+// Fig. 8 and Fig. 13 of the paper.
+func (s *LinkStats) LossFraction() float64 {
+	if s.Arrivals == 0 {
+		return 0
+	}
+	return float64(s.Drops) / float64(s.Arrivals)
+}
+
+// Utilization returns the fraction of the interval [0,now] the link spent
+// transmitting.
+func (l *Link) Utilization(now sim.Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	return l.Stats.BusyTime.Seconds() / now.Seconds()
+}
+
+// NewLink constructs a link. rateMbps is in megabits per second and
+// queueCap in packets; queueCap must be at least 1.
+func NewLink(name string, rateMbps float64, delay sim.Time, queueCap int) *Link {
+	if queueCap < 1 {
+		panic(fmt.Sprintf("netsim: link %s queue capacity %d < 1", name, queueCap))
+	}
+	return &Link{Name: name, RateBps: rateMbps * 1e6, PropDelay: delay, QueueCap: queueCap}
+}
+
+// NewLinkPktPerSec constructs a link whose rate is given in 1500-byte
+// packets per second, the unit used by the paper's wired simulations
+// (Figs. 8 and 16).
+func NewLinkPktPerSec(name string, pktPerSec float64, delay sim.Time, queueCap int) *Link {
+	return NewLink(name, pktPerSec*DataPacketSize*8/1e6, delay, queueCap)
+}
+
+// SetRate changes the line rate. Packets already queued keep their
+// departure times (they were scheduled at the old rate); future arrivals
+// serialise at the new rate.
+func (l *Link) SetRate(rateMbps float64) { l.RateBps = rateMbps * 1e6 }
+
+// SetDown takes the link down (all arrivals dropped) or back up.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// QueueLen returns the instantaneous queue occupancy in packets.
+func (l *Link) QueueLen(now sim.Time) int {
+	l.purge(now)
+	return len(l.departs) - l.head
+}
+
+func (l *Link) purge(now sim.Time) {
+	for l.head < len(l.departs) && l.departs[l.head] <= now {
+		l.head++
+	}
+	// Compact once the dead prefix dominates, to bound memory.
+	if l.head > 1024 && l.head*2 >= len(l.departs) {
+		n := copy(l.departs, l.departs[l.head:])
+		l.departs = l.departs[:n]
+		l.head = 0
+	}
+}
+
+// txTime returns the serialisation delay for a packet of size bytes.
+func (l *Link) txTime(size int) sim.Time {
+	return sim.Time(float64(size*8) / l.RateBps * float64(sim.Second))
+}
+
+// enqueue offers pkt to the link at the current time; the packet is either
+// scheduled to arrive at its next hop or dropped.
+func (l *Link) enqueue(n *Net, pkt *Packet) {
+	now := n.Sim.Now()
+	l.Stats.Arrivals++
+	if l.down {
+		l.Stats.Drops++
+		n.FreePacket(pkt)
+		return
+	}
+	if l.LossRate > 0 && n.Sim.Rand().Float64() < l.LossRate {
+		l.Stats.Drops++
+		l.Stats.RandomLoss++
+		n.FreePacket(pkt)
+		return
+	}
+	l.purge(now)
+	if len(l.departs)-l.head >= l.QueueCap {
+		l.Stats.Drops++
+		n.FreePacket(pkt)
+		return
+	}
+	tx := l.txTime(pkt.Size)
+	start := now
+	if l.lastDepart > start {
+		start = l.lastDepart
+	}
+	depart := start + tx
+	l.lastDepart = depart
+	l.departs = append(l.departs, depart)
+	l.Stats.BusyTime += tx
+	l.Stats.Departures++
+	l.Stats.BytesSent += int64(pkt.Size)
+	n.Sim.At(depart+l.PropDelay, func() { n.forward(pkt) })
+}

@@ -1,0 +1,301 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mptcp/internal/sim"
+)
+
+// sink collects delivered packets.
+type sink struct {
+	got   []int64
+	times []sim.Time
+	net   *Net
+}
+
+func (s *sink) Receive(p *Packet) {
+	s.got = append(s.got, p.Seq)
+	s.times = append(s.times, s.net.Sim.Now())
+	s.net.FreePacket(p)
+}
+
+func testNet() (*sim.Simulator, *Net) {
+	s := sim.New(1)
+	return s, NewNet(s)
+}
+
+func sendN(n *Net, r *Route, count int, size int) {
+	for i := 0; i < count; i++ {
+		p := n.AllocPacket()
+		p.Size = size
+		p.Seq = int64(i)
+		n.Send(r, p)
+	}
+}
+
+func TestLinkDeliveryTiming(t *testing.T) {
+	s, n := testNet()
+	// 12 Mb/s, 10 ms delay: a 1500B packet serialises in 1 ms.
+	l := NewLink("l", 12, 10*sim.Millisecond, 100)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 3, 1500)
+	s.Run()
+	if len(dst.got) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(dst.got))
+	}
+	// Packet i departs at (i+1) ms and arrives 10 ms later.
+	for i, at := range dst.times {
+		want := sim.Time(i+1)*sim.Millisecond + 10*sim.Millisecond
+		if at != want {
+			t.Errorf("packet %d arrived at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestLinkFIFOOrder(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 100, sim.Millisecond, 1000)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 100, 1500)
+	s.Run()
+	for i, seq := range dst.got {
+		if seq != int64(i) {
+			t.Fatalf("out-of-order delivery: position %d got seq %d", i, seq)
+		}
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 0, 10)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	// Burst of 25 packets at t=0 into a 10-packet buffer: 10 accepted,
+	// 15 dropped (the queue only drains 1 ms per packet).
+	sendN(n, r, 25, 1500)
+	s.Run()
+	if len(dst.got) != 10 {
+		t.Errorf("delivered %d, want 10", len(dst.got))
+	}
+	if l.Stats.Drops != 15 {
+		t.Errorf("drops = %d, want 15", l.Stats.Drops)
+	}
+	if l.Stats.Arrivals != 25 {
+		t.Errorf("arrivals = %d, want 25", l.Stats.Arrivals)
+	}
+}
+
+func TestQueueDrainsThenAccepts(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 0, 10)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 10, 1500)
+	// After 5 ms, 5 packets have departed; 5 more should fit.
+	s.RunUntil(5 * sim.Millisecond)
+	sendN(n, r, 6, 1500)
+	s.Run()
+	if len(dst.got) != 15 {
+		t.Errorf("delivered %d, want 15", len(dst.got))
+	}
+	if l.Stats.Drops != 1 {
+		t.Errorf("drops = %d, want 1", l.Stats.Drops)
+	}
+}
+
+func TestMultiHopRoute(t *testing.T) {
+	s, n := testNet()
+	l1 := NewLink("l1", 12, 5*sim.Millisecond, 100)
+	l2 := NewLink("l2", 12, 5*sim.Millisecond, 100)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l1, l2)
+	sendN(n, r, 1, 1500)
+	s.Run()
+	// 1 ms tx + 5 ms prop per hop.
+	want := 2 * (1*sim.Millisecond + 5*sim.Millisecond)
+	if len(dst.got) != 1 || dst.times[0] != want {
+		t.Errorf("arrival at %v, want %v", dst.times[0], want)
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 1000, 0, 1<<20)
+	l.LossRate = 0.1
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	const total = 20000
+	sendN(n, r, total, 1500)
+	s.Run()
+	lossFrac := float64(l.Stats.Drops) / total
+	if lossFrac < 0.08 || lossFrac > 0.12 {
+		t.Errorf("loss fraction = %.3f, want ~0.10", lossFrac)
+	}
+	if l.Stats.RandomLoss != l.Stats.Drops {
+		t.Errorf("all drops should be random: %d vs %d", l.Stats.RandomLoss, l.Stats.Drops)
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 0, 100)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	l.SetDown(true)
+	sendN(n, r, 5, 1500)
+	s.Run()
+	if len(dst.got) != 0 {
+		t.Errorf("down link delivered %d packets", len(dst.got))
+	}
+	l.SetDown(false)
+	sendN(n, r, 5, 1500)
+	s.Run()
+	if len(dst.got) != 5 {
+		t.Errorf("restored link delivered %d packets, want 5", len(dst.got))
+	}
+}
+
+func TestSetRateMidRun(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 0, 100)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 1, 1500) // departs at 1 ms
+	s.Run()
+	l.SetRate(1.2) // 10x slower: 10 ms per packet
+	sendN(n, r, 1, 1500)
+	s.Run()
+	if dst.times[1]-dst.times[0] != 10*sim.Millisecond {
+		t.Errorf("second packet took %v, want 10ms", dst.times[1]-dst.times[0])
+	}
+}
+
+func TestPktPerSecLink(t *testing.T) {
+	s, n := testNet()
+	l := NewLinkPktPerSec("l", 1000, 0, 100)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 1, DataPacketSize)
+	s.Run()
+	if dst.times[0] != sim.Millisecond {
+		t.Errorf("1000 pkt/s link: packet departed at %v, want 1ms", dst.times[0])
+	}
+}
+
+func TestAckSmallerSerialisation(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 0, 100)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 1, 40)
+	s.Run()
+	bits := 40.0 * 8
+	want := sim.Time(bits / 12e6 * float64(sim.Second))
+	if dst.times[0] != want {
+		t.Errorf("40B packet departed at %v, want %v", dst.times[0], want)
+	}
+}
+
+func TestPacketFreelist(t *testing.T) {
+	_, n := testNet()
+	p1 := n.AllocPacket()
+	p1.Seq = 99
+	n.FreePacket(p1)
+	p2 := n.AllocPacket()
+	if p2.Seq != 0 {
+		t.Error("recycled packet not zeroed")
+	}
+	if p1 != p2 {
+		t.Error("freelist did not recycle the packet")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 0, 1000)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 50, 1500) // 50 ms busy
+	s.RunUntil(100 * sim.Millisecond)
+	u := l.Utilization(s.Now())
+	if u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %.3f, want ~0.5", u)
+	}
+}
+
+// Property: conservation — packets offered = delivered + dropped + queued.
+func TestConservationProperty(t *testing.T) {
+	prop := func(counts []uint8, qcap uint8) bool {
+		s := sim.New(11)
+		n := NewNet(s)
+		cap := int(qcap%64) + 1
+		l := NewLink("l", 12, sim.Millisecond, cap)
+		dst := &sink{net: n}
+		r := NewRoute(dst, l)
+		total := 0
+		for i, c := range counts {
+			at := sim.Time(i) * sim.Millisecond
+			k := int(c % 16)
+			total += k
+			s.At(at, func() { sendN(n, r, k, 1500) })
+		}
+		s.RunUntil(10 * sim.Second)
+		s.Run()
+		return int64(len(dst.got))+l.Stats.Drops == int64(total) &&
+			l.Stats.Arrivals == int64(total)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the queue never exceeds its capacity.
+func TestQueueBoundProperty(t *testing.T) {
+	prop := func(bursts []uint8, qcap uint8) bool {
+		s := sim.New(13)
+		n := NewNet(s)
+		cap := int(qcap%32) + 1
+		l := NewLink("l", 12, 0, cap)
+		dst := &sink{net: n}
+		r := NewRoute(dst, l)
+		ok := true
+		for i, c := range bursts {
+			at := sim.Time(i) * 500 * sim.Microsecond
+			k := int(c % 8)
+			s.At(at, func() {
+				sendN(n, r, k, 1500)
+				if l.QueueLen(s.Now()) > cap {
+					ok = false
+				}
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLinkForwarding(b *testing.B) {
+	s := sim.New(1)
+	n := NewNet(s)
+	l := NewLink("l", 1e6, sim.Millisecond, 1<<30)
+	dst := &sink{net: n}
+	dst.got = make([]int64, 0, b.N)
+	r := NewRoute(dst, l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := n.AllocPacket()
+		p.Size = 1500
+		n.Send(r, p)
+		if i%1024 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

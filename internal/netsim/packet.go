@@ -1,0 +1,153 @@
+// Package netsim implements the packet-level network model used by the
+// MPTCP congestion-control reproduction: store-and-forward links with
+// finite drop-tail buffers, propagation delay, optional random loss and
+// time-varying rate (for the wireless scenarios of §5 of the paper).
+//
+// The model is intentionally minimal but faithful to the paper's custom
+// simulator: a packet traverses an explicit route (a sequence of links),
+// each link serialises packets at its line rate into a drop-tail queue
+// measured in packets, and delivery at the far end of the final link hands
+// the packet to an Endpoint (a TCP or MPTCP receiver model).
+package netsim
+
+import "mptcp/internal/sim"
+
+// Packet is a simulated TCP/MPTCP segment. One struct serves both data and
+// ACK packets; which fields are meaningful depends on IsAck. Packet counts,
+// not bytes, define window and buffer occupancy (the paper maintains
+// windows in packets); Size is used only for serialisation time.
+type Packet struct {
+	// Routing state.
+	route *Route
+	hop   int
+
+	// Size in bytes on the wire (headers included).
+	Size int
+
+	// FlowID identifies the owning connection, SubflowID the subflow
+	// within it. Single-path TCP uses SubflowID 0.
+	FlowID    int
+	SubflowID int
+
+	// Subflow sequence space, in packets. Seq is the subflow sequence
+	// number of a data packet; Ack is the cumulative subflow
+	// acknowledgment carried by an ACK.
+	Seq int64
+	Ack int64
+
+	// Connection-level (data) sequence space, in packets. DataSeq is the
+	// data sequence number carried by a data packet (§6 of the paper:
+	// "an additional data sequence number ... stating where in the
+	// application data stream the payload should be placed"). DataAck is
+	// the explicit data-level cumulative acknowledgment carried in an
+	// option on ACKs; RcvWnd is the receive window, in packets, relative
+	// to DataAck.
+	DataSeq int64
+	DataAck int64
+	RcvWnd  int64
+
+	IsAck bool
+
+	// IsProbe marks a zero-window probe: it occupies no sequence space
+	// and only elicits an ACK from the receiver (TCP persist timer).
+	IsProbe bool
+
+	// Timestamp echoing for RTT measurement, as with the TCP timestamp
+	// option: SentAt is stamped by the sender, echoed back in EchoTS.
+	SentAt sim.Time
+	EchoTS sim.Time
+
+	// Retx marks a subflow-level retransmission (used by stats and to
+	// suppress bogus RTT samples without timestamps).
+	Retx bool
+
+	// HasSack/SackSeq carry a one-packet selective acknowledgment: the
+	// out-of-order subflow sequence number whose arrival generated this
+	// ACK. Because every data packet is acknowledged individually, the
+	// sender's scoreboard converges to the exact hole set, modelling the
+	// SACK option that the paper's Linux implementation relies on.
+	HasSack bool
+	SackSeq int64
+}
+
+// DataPacketSize and AckPacketSize are the wire sizes used throughout the
+// reproduction: a 1500-byte MSS-sized segment and a 40-byte pure ACK.
+const (
+	DataPacketSize = 1500
+	AckPacketSize  = 40
+)
+
+// Endpoint consumes packets delivered by the network.
+type Endpoint interface {
+	Receive(pkt *Packet)
+}
+
+// Route is a unidirectional path: the packet crosses Links in order and is
+// then handed to Dest.
+type Route struct {
+	Links []*Link
+	Dest  Endpoint
+}
+
+// NewRoute builds a route over links terminating at dest.
+func NewRoute(dest Endpoint, links ...*Link) *Route {
+	return &Route{Links: links, Dest: dest}
+}
+
+// Hops returns the number of links on the route.
+func (r *Route) Hops() int { return len(r.Links) }
+
+// Net owns the simulator handle and a packet freelist. All senders and
+// links in one experiment share a single Net.
+type Net struct {
+	Sim  *sim.Simulator
+	free []*Packet
+
+	// Stats
+	PacketsSent  int64
+	PacketsRecvd int64
+}
+
+// NewNet creates a network bound to s.
+func NewNet(s *sim.Simulator) *Net {
+	return &Net{Sim: s}
+}
+
+// AllocPacket returns a zeroed packet from the freelist.
+func (n *Net) AllocPacket() *Packet {
+	if len(n.free) == 0 {
+		return &Packet{}
+	}
+	p := n.free[len(n.free)-1]
+	n.free = n.free[:len(n.free)-1]
+	*p = Packet{}
+	return p
+}
+
+// FreePacket returns a packet to the freelist. The caller must not touch
+// the packet afterwards.
+func (n *Net) FreePacket(p *Packet) {
+	n.free = append(n.free, p)
+}
+
+// Send injects pkt into the network along route. Ownership of pkt passes
+// to the network; it is freed automatically if dropped.
+func (n *Net) Send(route *Route, pkt *Packet) {
+	pkt.route = route
+	pkt.hop = 0
+	n.PacketsSent++
+	n.forward(pkt)
+}
+
+// forward advances pkt to its next link, or delivers it.
+func (n *Net) forward(pkt *Packet) {
+	if pkt.hop >= len(pkt.route.Links) {
+		n.PacketsRecvd++
+		dest := pkt.route.Dest
+		dest.Receive(pkt)
+		return
+	}
+	link := pkt.route.Links[pkt.hop]
+	pkt.hop++
+	link.enqueue(n, pkt)
+}

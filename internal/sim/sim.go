@@ -1,0 +1,187 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// It is the substrate under the packet-level network simulator used to
+// reproduce the evaluation of "Design, implementation and evaluation of
+// congestion control for multipath TCP" (Wischik et al., NSDI 2011). The
+// engine is single-threaded and fully deterministic: events firing at the
+// same instant are executed in scheduling order, and all randomness flows
+// from one seeded source.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a simulated instant measured in integer nanoseconds since the
+// start of the simulation. Integer time keeps the engine exactly
+// reproducible across runs and platforms.
+type Time int64
+
+// Duration constants, mirroring package time but in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts a floating-point number of seconds into a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Timer is a handle to a scheduled event. It may be stopped before it fires.
+type Timer struct {
+	at    Time
+	seq   uint64
+	index int // heap index, -1 when not queued
+	fn    func()
+}
+
+// Stop cancels the timer. It is safe to call on a timer that has already
+// fired or been stopped. It reports whether the call prevented the event
+// from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.fn == nil {
+		return false
+	}
+	t.fn = nil
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.fn != nil }
+
+// When returns the instant the timer is scheduled to fire at.
+func (t *Timer) When() Time { return t.at }
+
+// Simulator is a discrete-event scheduler. The zero value is not usable;
+// construct with New.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	nsteps uint64
+}
+
+// New returns a Simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events executed so far. It is useful for
+// reporting simulator throughput in benchmarks.
+func (s *Simulator) Steps() uint64 { return s.nsteps }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a bug in the caller.
+func (s *Simulator) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, tm)
+	return tm
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Simulator) After(d Time, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// RunUntil executes events in timestamp order until the event queue is
+// exhausted or the next event is later than end. The clock is left at the
+// time of the last executed event, or at end if no event at or before end
+// remains.
+func (s *Simulator) RunUntil(end Time) {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.fn == nil {
+			continue // cancelled
+		}
+		s.now = next.at
+		fn := next.fn
+		next.fn = nil
+		fn()
+		s.nsteps++
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// Run executes events until the queue empties.
+func (s *Simulator) Run() {
+	for len(s.events) > 0 {
+		next := heap.Pop(&s.events).(*Timer)
+		if next.fn == nil {
+			continue
+		}
+		s.now = next.at
+		fn := next.fn
+		next.fn = nil
+		fn()
+		s.nsteps++
+	}
+}
+
+// Pending returns the number of events in the queue, including cancelled
+// entries that have not yet been reaped.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// eventHeap is a min-heap ordered by (at, seq) so that simultaneous events
+// fire in scheduling order.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

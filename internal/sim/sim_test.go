@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Errorf("Millis() = %v, want 1.5", got)
+	}
+	if got := FromSeconds(0.25); got != 250*Millisecond {
+		t.Errorf("FromSeconds(0.25) = %v, want 250ms", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30*Millisecond, func() { order = append(order, 3) })
+	s.At(10*Millisecond, func() { order = append(order, 1) })
+	s.At(20*Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events fired in order %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30*Millisecond {
+		t.Errorf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.At(10*Millisecond, func() { fired++ })
+	s.At(20*Millisecond, func() { fired++ })
+	s.RunUntil(15 * Millisecond)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 15*Millisecond {
+		t.Errorf("clock = %v, want 15ms", s.Now())
+	}
+	s.RunUntil(25 * Millisecond)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.At(10*Millisecond, func() { fired = true })
+	if !tm.Active() {
+		t.Error("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Error("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if tm.Active() {
+		t.Error("stopped timer reports active")
+	}
+}
+
+func TestTimerStopNil(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Error("Stop on nil timer should be false")
+	}
+	if tm.Active() {
+		t.Error("nil timer should not be active")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var trace []Time
+	s.At(10*Millisecond, func() {
+		trace = append(trace, s.Now())
+		s.After(5*Millisecond, func() {
+			trace = append(trace, s.Now())
+		})
+	})
+	s.Run()
+	if len(trace) != 2 || trace[0] != 10*Millisecond || trace[1] != 15*Millisecond {
+		t.Errorf("trace = %v, want [10ms 15ms]", trace)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(5*Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		s := New(seed)
+		var out []int
+		var step func()
+		n := 0
+		step = func() {
+			out = append(out, s.Rand().Intn(1000))
+			n++
+			if n < 50 {
+				s.After(Time(1+s.Rand().Intn(100))*Millisecond, step)
+			}
+		}
+		s.After(0, step)
+		s.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different traces at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+}
+
+// Property: for any set of scheduled times, events fire in nondecreasing
+// time order and the clock never goes backwards.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		s := New(7)
+		var fired []Time
+		for _, d := range delays {
+			s.At(Time(d)*Microsecond, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(0))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stopping a random subset of timers fires exactly the others.
+func TestStopSubsetProperty(t *testing.T) {
+	prop := func(delays []uint16, stopMask []bool) bool {
+		s := New(3)
+		fired := make(map[int]bool)
+		timers := make([]*Timer, len(delays))
+		for i, d := range delays {
+			i := i
+			timers[i] = s.At(Time(d)*Microsecond, func() { fired[i] = true })
+		}
+		want := make(map[int]bool)
+		for i := range delays {
+			stopped := i < len(stopMask) && stopMask[i]
+			if stopped {
+				timers[i].Stop()
+			} else {
+				want[i] = true
+			}
+		}
+		s.Run()
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, tick)
+	s.Run()
+}
+
+func BenchmarkTimerChurn(b *testing.B) {
+	// Models RTO timers: most timers are cancelled before firing.
+	s := New(1)
+	b.ResetTimer()
+	var prev *Timer
+	for i := 0; i < b.N; i++ {
+		prev.Stop()
+		prev = s.At(s.Now()+Second, func() {})
+		if i%16 == 0 {
+			s.RunUntil(s.Now() + Millisecond)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mptcp/internal/netsim"
+	"mptcp/internal/sim"
+)
+
+func TestOnOffCBRDutyCycle(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.NewNet(s)
+	l := netsim.NewLink("l", 100, 0, 1000)
+	// Mean on 10 ms at 100 Mb/s, mean off 100 ms: expect ~1/11 of the
+	// link's packet rate on average.
+	cbr := NewOnOffCBR(n, 100, 10*sim.Millisecond, 100*sim.Millisecond, l)
+	cbr.Start()
+	s.RunUntil(200 * sim.Second)
+	rate := float64(cbr.PktsSent) / 200.0
+	lineRate := 100e6 / (netsim.DataPacketSize * 8)
+	want := lineRate / 11
+	if rate < 0.6*want || rate > 1.5*want {
+		t.Errorf("CBR average rate = %.0f pkt/s, want ~%.0f", rate, want)
+	}
+}
+
+func TestOnOffCBRBurstsAtLineRate(t *testing.T) {
+	s := sim.New(2)
+	n := netsim.NewNet(s)
+	l := netsim.NewLink("l", 100, 0, 1<<20)
+	cbr := NewOnOffCBR(n, 100, 50*sim.Millisecond, 50*sim.Millisecond, l)
+	cbr.Start()
+	// Track the max rate over 10 ms windows.
+	var maxWin int64
+	prev := int64(0)
+	for i := 0; i < 2000; i++ {
+		s.RunUntil(sim.Time(i+1) * 10 * sim.Millisecond)
+		if d := cbr.PktsSent - prev; d > maxWin {
+			maxWin = d
+		}
+		prev = cbr.PktsSent
+	}
+	// 100 Mb/s = ~83 packets per 10 ms.
+	if maxWin < 70 {
+		t.Errorf("peak burst = %d pkts/10ms, want ~83 (line rate)", maxWin)
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	p := NewParetoMean(1.5, 200)
+	if math.Abs(p.Mean()-200) > 1e-9 {
+		t.Errorf("analytic mean = %v, want 200", p.Mean())
+	}
+	rng := rand.New(rand.NewSource(3))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += p.Sample(rng)
+	}
+	got := sum / n
+	// alpha=1.5 has infinite variance; accept a broad band.
+	if got < 140 || got > 300 {
+		t.Errorf("empirical mean = %.1f, want ~200", got)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	p := NewParetoMean(1.5, 200)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if p.Sample(rng) < p.Xm {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonArrivalRate(t *testing.T) {
+	s := sim.New(4)
+	n := netsim.NewNet(s)
+	count := 0
+	pa := &PoissonArrivals{Net: n, Rate: 60, Spawn: func() { count++ }}
+	pa.Start()
+	s.RunUntil(100 * sim.Second)
+	if count < 5400 || count > 6600 {
+		t.Errorf("arrivals in 100 s at rate 60/s = %d, want ~6000", count)
+	}
+}
+
+func TestPoissonRateChange(t *testing.T) {
+	s := sim.New(5)
+	n := netsim.NewNet(s)
+	count := 0
+	pa := &PoissonArrivals{Net: n, Rate: 10, Spawn: func() { count++ }}
+	pa.Start()
+	s.RunUntil(50 * sim.Second)
+	low := count
+	pa.Rate = 60
+	s.RunUntil(100 * sim.Second)
+	high := count - low
+	if float64(high) < 3*float64(low) {
+		t.Errorf("rate change ineffective: %d then %d arrivals", low, high)
+	}
+}
+
+func TestPermutationProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		rng := rand.New(rand.NewSource(seed))
+		dst := Permutation(rng, n)
+		if len(dst) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for i, d := range dst {
+			if d == i || d < 0 || d >= n || seen[d] {
+				return false
+			}
+			seen[d] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src, dst := SparseFlows(rng, 100, 0.3)
+	if len(src) != 30 || len(dst) != 30 {
+		t.Fatalf("sparse flows = %d, want 30", len(src))
+	}
+	srcSeen := map[int]bool{}
+	for i := range src {
+		if src[i] == dst[i] {
+			t.Error("self-flow generated")
+		}
+		if srcSeen[src[i]] {
+			t.Error("duplicate source host")
+		}
+		srcSeen[src[i]] = true
+	}
+}
+
+func TestOneToMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src, dst := OneToMany(rng, 50, 12)
+	if len(src) != 50*12 {
+		t.Fatalf("flows = %d, want 600", len(src))
+	}
+	perSrc := map[int]map[int]bool{}
+	for i := range src {
+		if perSrc[src[i]] == nil {
+			perSrc[src[i]] = map[int]bool{}
+		}
+		if src[i] == dst[i] {
+			t.Fatal("self-flow")
+		}
+		if perSrc[src[i]][dst[i]] {
+			t.Fatal("duplicate destination for one source")
+		}
+		perSrc[src[i]][dst[i]] = true
+	}
+}

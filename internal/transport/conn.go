@@ -1,0 +1,341 @@
+// Package transport implements the TCP and MPTCP endpoint models that run
+// over the packet-level network of internal/netsim.
+//
+// A Conn is a connection with one or more subflows, each taking its own
+// route. Single-path TCP is simply a Conn with one subflow driven by
+// core.Regular — exactly how the paper treats it. Each subflow runs
+// NewReno-style machinery (slow start, fast retransmit/recovery, RFC 6298
+// retransmission timer); congestion avoidance window arithmetic is
+// delegated to a core.Algorithm, so REGULAR/EWTCP/COUPLED/SEMICOUPLED/
+// MPTCP all share identical loss detection, exactly as in the paper's
+// Linux implementation.
+//
+// The protocol model follows §6 of the paper:
+//
+//   - separate sequence spaces: per-subflow sequence numbers for loss
+//     detection, and connection-level data sequence numbers for stream
+//     reassembly, carried on every data packet;
+//   - explicit data acknowledgments carried on every ACK (the paper shows
+//     inferring the data ack from subflow acks is unsound when ACKs
+//     arrive out of order across subflows);
+//   - a single shared receive buffer, its window advertised relative to
+//     the data-level cumulative ack (per-subflow buffers can deadlock).
+//
+// Sequence numbers count packets, not bytes, and windows are maintained
+// in packets, as the paper presents them.
+package transport
+
+import (
+	"fmt"
+	"math"
+
+	"mptcp/internal/core"
+	"mptcp/internal/netsim"
+	"mptcp/internal/sim"
+)
+
+// Infinite marks an unlimited data supply (a long-lived flow).
+const Infinite int64 = -1
+
+// Path is the pair of routes used by one subflow: Fwd carries data from
+// sender to receiver, Rev carries ACKs back.
+type Path struct {
+	Fwd []*netsim.Link
+	Rev []*netsim.Link
+}
+
+// Config parameterises a connection.
+type Config struct {
+	// Alg is the congestion-avoidance algorithm. Defaults to
+	// &core.MPTCP{} for multiple paths and core.Regular{} for one.
+	Alg core.Algorithm
+
+	// Paths lists one Path per subflow; at least one is required.
+	Paths []Path
+
+	// DataPackets is the number of data packets the application wants to
+	// transfer; Infinite for a long-lived flow.
+	DataPackets int64
+
+	// RecvBuf is the shared receive buffer in packets (§6). Defaults to
+	// a window large enough never to bind (1<<20).
+	RecvBuf int64
+
+	// InitialCwnd is the initial congestion window in packets
+	// (default 2, as in Linux of the paper's era).
+	InitialCwnd float64
+
+	// MinRTO is the lower bound on the retransmission timeout
+	// (default 200 ms, Linux's RTO_MIN).
+	MinRTO sim.Time
+
+	// DisableReinject turns off data-level reinjection: after an RTO on
+	// one subflow, outstanding data is normally also made available to
+	// other subflows so a dead path cannot strand the stream.
+	DisableReinject bool
+
+	// SendJitter is the maximum uniform random delay added to each data
+	// packet transmission (FIFO order within a subflow is preserved). A
+	// small jitter breaks the drop-tail phase locking that plagues
+	// deterministic simulations of flows with identical RTTs (Floyd &
+	// Jacobson, "On Traffic Phase Effects in Packet-Switched Gateways").
+	// Defaults to 100 µs; set negative to disable.
+	SendJitter sim.Time
+
+	// OnComplete, if set, is invoked once the final data packet is
+	// cumulatively acknowledged (finite flows only).
+	OnComplete func()
+}
+
+// Conn is the sender side of a (multipath) connection together with its
+// receiver model. Create with NewConn, then Start.
+type Conn struct {
+	ID   int
+	net  *netsim.Net
+	cfg  Config
+	alg  core.Algorithm
+	subs []*Subflow
+	cc   []core.Subflow
+	recv *Receiver
+
+	dataNxt   int64 // next new data sequence number to assign
+	dataUna   int64 // cumulative data-level acknowledgment
+	dataEdge  int64 // highest permitted dataSeq+1 (flow control edge)
+	total     int64 // total data packets, or Infinite
+	reinjectQ []int64
+	started   bool
+	done      bool
+	startedAt sim.Time
+	doneAt    sim.Time
+
+	// Zero-window persist state: when the advertised window closes and
+	// nothing is in flight, the sender probes periodically so a lost
+	// window update cannot deadlock the connection.
+	fcBlocked    bool
+	persistTimer *sim.Timer
+}
+
+const persistInterval = 200 * sim.Millisecond
+
+var nextConnID int
+
+// NewConn builds a connection and its receiver, and wires the routes.
+func NewConn(nw *netsim.Net, cfg Config) *Conn {
+	if len(cfg.Paths) == 0 {
+		panic("transport: connection needs at least one path")
+	}
+	if cfg.Alg == nil {
+		if len(cfg.Paths) == 1 {
+			cfg.Alg = core.Regular{}
+		} else {
+			cfg.Alg = &core.MPTCP{}
+		}
+	}
+	if cfg.RecvBuf <= 0 {
+		cfg.RecvBuf = 1 << 20
+	}
+	if cfg.InitialCwnd <= 0 {
+		cfg.InitialCwnd = 2
+	}
+	if cfg.MinRTO <= 0 {
+		cfg.MinRTO = 200 * sim.Millisecond
+	}
+	if cfg.DataPackets == 0 {
+		cfg.DataPackets = Infinite
+	}
+	switch {
+	case cfg.SendJitter == 0:
+		cfg.SendJitter = 100 * sim.Microsecond
+	case cfg.SendJitter < 0:
+		cfg.SendJitter = 0
+	}
+	nextConnID++
+	c := &Conn{
+		ID:       nextConnID,
+		net:      nw,
+		cfg:      cfg,
+		alg:      cfg.Alg,
+		total:    cfg.DataPackets,
+		dataEdge: cfg.RecvBuf,
+	}
+	n := len(cfg.Paths)
+	c.cc = make([]core.Subflow, n)
+	c.recv = newReceiver(nw, c, n, cfg.RecvBuf)
+	for i, p := range cfg.Paths {
+		sf := newSubflow(c, i)
+		sf.fwd = netsim.NewRoute(c.recv, p.Fwd...)
+		c.recv.rev[i] = netsim.NewRoute(sf, p.Rev...)
+		c.cc[i] = core.Subflow{Cwnd: cfg.InitialCwnd, SSThresh: math.Inf(1)}
+		c.subs = append(c.subs, sf)
+	}
+	return c
+}
+
+// Start begins transmission at the current simulated time.
+func (c *Conn) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.startedAt = c.net.Sim.Now()
+	c.pump()
+}
+
+// Receiver returns the connection's receiver model.
+func (c *Conn) Receiver() *Receiver { return c.recv }
+
+// Subflows returns the sender-side subflows (read-only use).
+func (c *Conn) Subflows() []*Subflow { return c.subs }
+
+// Alg returns the congestion control algorithm driving the connection.
+func (c *Conn) Alg() core.Algorithm { return c.alg }
+
+// Done reports whether a finite flow has been fully acknowledged.
+func (c *Conn) Done() bool { return c.done }
+
+// Stop terminates the connection immediately: no more transmissions, all
+// timers cancelled. Used by experiments that remove flows mid-run (§2.4's
+// departing flow, the server workload's completed transfers).
+func (c *Conn) Stop() {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.doneAt = c.net.Sim.Now()
+	c.persistTimer.Stop()
+	for _, sf := range c.subs {
+		sf.stopTimer()
+	}
+}
+
+// StartedAt returns when Start was called.
+func (c *Conn) StartedAt() sim.Time { return c.startedAt }
+
+// CompletedAt returns when the flow finished (finite flows).
+func (c *Conn) CompletedAt() sim.Time { return c.doneAt }
+
+// Delivered returns the count of data packets delivered in order to the
+// receiving application.
+func (c *Conn) Delivered() int64 { return c.recv.dataRcvNxt }
+
+// SubflowDelivered returns the number of distinct data packets the
+// receiver obtained via subflow i (per-path goodput, used by Fig. 15/17).
+func (c *Conn) SubflowDelivered(i int) int64 { return c.recv.subDelivered[i] }
+
+// Cwnd returns subflow i's congestion window in packets.
+func (c *Conn) Cwnd(i int) float64 { return c.cc[i].Cwnd }
+
+// SRTT returns subflow i's smoothed RTT estimate.
+func (c *Conn) SRTT(i int) sim.Time { return c.subs[i].srtt }
+
+// popData hands the next data sequence number to transmit on a subflow,
+// preferring reinjections. ok is false when the connection is app-limited
+// or flow-control limited.
+func (c *Conn) popData() (seq int64, ok bool) {
+	for len(c.reinjectQ) > 0 {
+		s := c.reinjectQ[0]
+		c.reinjectQ = c.reinjectQ[1:]
+		if s >= c.dataUna {
+			return s, true
+		}
+	}
+	if c.total != Infinite && c.dataNxt >= c.total {
+		return 0, false
+	}
+	if c.dataNxt >= c.dataEdge {
+		c.fcBlocked = true // flow control (§6): respect the shared buffer
+		return 0, false
+	}
+	s := c.dataNxt
+	c.dataNxt++
+	return s, true
+}
+
+// onDataAck processes the explicit data-level acknowledgment and window
+// carried on an ACK (§6).
+func (c *Conn) onDataAck(dataAck, rcvWnd int64) {
+	if dataAck > c.dataUna {
+		c.dataUna = dataAck
+	}
+	// The edge is monotone: old ACKs cannot shrink it.
+	if e := dataAck + rcvWnd; e > c.dataEdge {
+		c.dataEdge = e
+		if c.fcBlocked {
+			c.fcBlocked = false
+			c.persistTimer.Stop()
+		}
+	}
+	if c.total != Infinite && !c.done && c.dataUna >= c.total {
+		c.done = true
+		c.doneAt = c.net.Sim.Now()
+		for _, sf := range c.subs {
+			sf.stopTimer()
+		}
+		if c.cfg.OnComplete != nil {
+			c.cfg.OnComplete()
+		}
+	}
+}
+
+// reinject queues data sequences for retransmission on any subflow; used
+// after an RTO so a dying path cannot strand the data stream (§6 / §5
+// mobility).
+func (c *Conn) reinject(dataSeqs []int64) {
+	if c.cfg.DisableReinject {
+		return
+	}
+	for _, s := range dataSeqs {
+		if s >= c.dataUna {
+			c.reinjectQ = append(c.reinjectQ, s)
+		}
+	}
+}
+
+// pump lets every subflow transmit while its window and the connection's
+// data supply allow — the paper's "stripes packets across these subflows
+// as space in the subflow windows becomes available".
+func (c *Conn) pump() {
+	if !c.started || c.done {
+		return
+	}
+	for _, sf := range c.subs {
+		sf.trySend()
+	}
+	if c.fcBlocked && !c.persistTimer.Active() && c.idle() {
+		c.persistTimer = c.net.Sim.After(persistInterval, c.persistProbe)
+	}
+}
+
+// idle reports whether no subflow has data in flight (so no ACK will
+// arrive to reopen a closed window on its own).
+func (c *Conn) idle() bool {
+	for _, sf := range c.subs {
+		if sf.outstanding() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// persistProbe sends a zero-window probe (TCP's persist timer): a tiny
+// packet that elicits an ACK carrying the current window, guarding
+// against a lost window update deadlocking a flow-control-blocked sender.
+func (c *Conn) persistProbe() {
+	if c.done || !c.fcBlocked {
+		return
+	}
+	for _, sf := range c.subs {
+		p := c.net.AllocPacket()
+		p.Size = netsim.AckPacketSize
+		p.FlowID = c.ID
+		p.SubflowID = sf.id
+		p.IsProbe = true
+		p.SentAt = c.net.Sim.Now()
+		c.net.Send(sf.fwd, p)
+	}
+	c.persistTimer = c.net.Sim.After(persistInterval, c.persistProbe)
+}
+
+func (c *Conn) String() string {
+	return fmt.Sprintf("conn%d[%s,%d subflows]", c.ID, c.alg.Name(), len(c.subs))
+}
