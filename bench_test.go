@@ -18,20 +18,58 @@ import (
 // the shapes (orderings, ratios) are stable at this scale.
 const benchScale = 0.15
 
+// singleCell lists the experiments that are one trial cell (a single
+// shared-state world): Parallelism cannot change their wall-clock, so
+// only the serial mode is measured.
+var singleCell = map[string]bool{
+	"fig10-server-lb":      true,
+	"table-server-poisson": true,
+	"sec5-wired-sim":       true,
+	"fig17-mobility":       true,
+}
+
+// benchExperiment measures each experiment twice: "serial" pins the cell
+// runner to one worker, "parallel" lets it use GOMAXPROCS. The ns/op gap
+// between the two sub-benchmarks is the wall-clock win of the parallel
+// runner; the reported metrics are identical by construction (the
+// determinism regression test in internal/exp asserts this).
 func benchExperiment(b *testing.B, id string, keys ...string) {
 	e, ok := exp.Get(id)
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
-	var res *exp.Result
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		res = e.Run(exp.Config{Seed: int64(42 + i), Scale: benchScale})
+	scale := benchScale
+	if testing.Short() {
+		// The -short bench smoke (CI) only checks that every experiment
+		// still runs end to end; tiny scale keeps it in seconds.
+		scale = 0.02
 	}
-	for _, k := range keys {
-		if v, ok := res.Metrics[k]; ok {
-			b.ReportMetric(v, k)
+	for _, mode := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	} {
+		if mode.parallelism == 0 && singleCell[id] {
+			continue
 		}
+		b.Run(mode.name, func(b *testing.B) {
+			var res *exp.Result
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res = e.Run(exp.Config{
+					Seed:        int64(42 + i),
+					Scale:       scale,
+					Parallelism: mode.parallelism,
+				})
+			}
+			for _, k := range keys {
+				if v, ok := res.Metrics[k]; ok {
+					b.ReportMetric(v, k)
+				}
+			}
+		})
 	}
 }
 

@@ -6,23 +6,45 @@
 //
 //	mptcp-exp -list
 //	mptcp-exp -run fig8-torus [-scale 1.0] [-seed 42]
-//	mptcp-exp -run all
+//	mptcp-exp -run all [-parallel 8] [-trials 5] [-json]
+//
+// Independent trial cells fan out across -parallel workers (default
+// GOMAXPROCS); results are bit-identical for every worker count. With
+// -trials N each experiment repeats N times on base seeds seed..seed+N-1.
+// With -json each trial emits one machine-readable JSON record per line
+// instead of the rendered report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"mptcp/internal/exp"
 )
 
+// trialRecord is the JSONL shape emitted by -json, one line per
+// (experiment, trial): the batch identity plus the headline metrics.
+type trialRecord struct {
+	ID      string             `json:"id"`
+	Ref     string             `json:"ref"`
+	Trial   int                `json:"trial"`
+	Seed    int64              `json:"seed"`
+	Scale   float64            `json:"scale"`
+	WallSec float64            `json:"wall_s"`
+	Metrics map[string]float64 `json:"metrics"`
+	Notes   []string           `json:"notes,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments")
 	id := flag.String("run", "", "experiment ID to run (or 'all')")
-	seed := flag.Int64("seed", 42, "random seed")
+	seed := flag.Int64("seed", 42, "base random seed")
 	scale := flag.Float64("scale", 1.0, "duration/topology scale (1.0 = paper fidelity)")
+	parallel := flag.Int("parallel", 0, "max concurrent trial cells (0 = GOMAXPROCS)")
+	trials := flag.Int("trials", 1, "repetitions per experiment, base seeds seed..seed+trials-1")
+	jsonOut := flag.Bool("json", false, "emit one JSON record per trial instead of rendered reports")
 	flag.Parse()
 
 	if *list || *id == "" {
@@ -32,23 +54,54 @@ func main() {
 		}
 		return
 	}
-	cfg := exp.Config{Seed: *seed, Scale: *scale}
-	run := func(e *exp.Experiment) {
-		start := time.Now()
-		res := e.Run(cfg)
-		res.Render(os.Stdout)
-		fmt.Printf("\n  (wall time %.1fs)\n\n", time.Since(start).Seconds())
-	}
+	var exps []*exp.Experiment
 	if *id == "all" {
-		for _, e := range exp.All() {
-			run(e)
+		exps = exp.All()
+	} else {
+		e, ok := exp.Get(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *id)
+			os.Exit(1)
 		}
-		return
+		exps = []*exp.Experiment{e}
 	}
-	e, ok := exp.Get(*id)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *id)
+
+	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel}
+
+	// Stream each trial as soon as it (and its predecessors) finish:
+	// long batches produce output while they run, in deterministic
+	// (experiment, trial) order.
+	enc := json.NewEncoder(os.Stdout)
+	var encErr error
+	exp.RunBatchStream(cfg, exps, *trials, func(tr exp.TrialResult) {
+		if encErr != nil {
+			return
+		}
+		if *jsonOut {
+			rec := trialRecord{
+				ID:      tr.ID,
+				Ref:     tr.Ref,
+				Trial:   tr.Trial,
+				Seed:    tr.Seed,
+				Scale:   tr.Scale,
+				WallSec: tr.WallSec,
+				Metrics: tr.Result.Metrics,
+				Notes:   tr.Result.Notes,
+			}
+			if err := enc.Encode(rec); err != nil {
+				encErr = fmt.Errorf("encoding %s: %v", tr.ID, err)
+			}
+			return
+		}
+		tr.Result.Render(os.Stdout)
+		if *trials > 1 {
+			fmt.Printf("\n  (trial %d, seed %d, wall time %.1fs)\n\n", tr.Trial, tr.Seed, tr.WallSec)
+		} else {
+			fmt.Printf("\n  (wall time %.1fs)\n\n", tr.WallSec)
+		}
+	})
+	if encErr != nil {
+		fmt.Fprintln(os.Stderr, encErr)
 		os.Exit(1)
 	}
-	run(e)
 }

@@ -5,7 +5,8 @@
 // The root package holds the benchmark harness (bench_test.go): one
 // benchmark per table and figure of the paper's evaluation, each driving
 // the experiment registry in internal/exp. The library itself lives
-// under internal/ (see README.md for the architecture map):
+// under internal/ (see DESIGN.md for the architecture map and the
+// experiment index):
 //
 //   - internal/core — the coupled congestion-control algorithms (the
 //     paper's contribution: REGULAR, EWTCP, COUPLED, SEMICOUPLED, MPTCP);
@@ -17,6 +18,7 @@
 //   - internal/mptcpnet — a userspace MPTCP-over-UDP stack (§6's
 //     protocol design over real sockets).
 //
-// Run `go run ./cmd/mptcp-exp -list` for the reproduction index and
-// EXPERIMENTS.md for paper-vs-measured results.
+// Run `go run ./cmd/mptcp-exp -list` for the reproduction index; the
+// parallel experiment runner and its deterministic seeding scheme are
+// documented in DESIGN.md §3.
 package mptcp

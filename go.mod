@@ -1,0 +1,3 @@
+module mptcp
+
+go 1.22

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// aimdEquilibrium drives alg through a simple per-round AIMD loss model
+// and returns each subflow's time-averaged window over the second half
+// of the run. Per round and per subflow, a loss event arrives with
+// probability 1-(1-p_r)^w_r (at least one of the w_r packets in flight
+// is dropped); on loss the window takes alg.Decrease, otherwise it earns
+// w_r per-ACK increases. The seeded generator makes the trajectory
+// deterministic, so thresholds asserted against it are stable.
+func aimdEquilibrium(alg Algorithm, loss, rtt []float64, rounds int, seed int64) []float64 {
+	s := make([]Subflow, len(loss))
+	for i := range s {
+		s[i] = Subflow{Cwnd: 1, SSThresh: math.Inf(1), SRTT: rtt[i]}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	avg := make([]float64, len(s))
+	samples := 0
+	for round := 0; round < rounds; round++ {
+		for r := range s {
+			w := int(s[r].Cwnd)
+			if w < 1 {
+				w = 1
+			}
+			if rng.Float64() < 1-math.Pow(1-loss[r], float64(w)) {
+				s[r].Cwnd = alg.Decrease(s, r)
+			} else {
+				for k := 0; k < w; k++ {
+					s[r].Cwnd += alg.Increase(s, r)
+				}
+			}
+		}
+		if round >= rounds/2 {
+			for r := range s {
+				avg[r] += s[r].Cwnd
+			}
+			samples++
+		}
+	}
+	for r := range avg {
+		avg[r] /= float64(samples)
+	}
+	return avg
+}
+
+// TestAlgorithmProperties checks the paper's defining behavioural claim
+// for each algorithm, one subtest per algorithm: MPTCP's increase obeys
+// the 1/w_r cap of eq. (1) (§2.5), COUPLED moves its window onto the
+// least-congested path (§2.2), and EWTCP splits evenly across symmetric
+// paths (§2.1).
+func TestAlgorithmProperties(t *testing.T) {
+	tests := []struct {
+		name  string
+		check func(t *testing.T)
+	}{
+		{
+			name: "MPTCP/increase-never-exceeds-1-over-wr",
+			check: func(t *testing.T) {
+				rng := rand.New(rand.NewSource(11))
+				for _, alg := range []*MPTCP{{PerAck: true}, {}} {
+					for trial := 0; trial < 500; trial++ {
+						n := 1 + rng.Intn(4)
+						s := make([]Subflow, n)
+						for i := range s {
+							s[i] = Subflow{
+								Cwnd: 0.5 + rng.Float64()*200,
+								SRTT: 0.005 + rng.Float64()*0.8,
+							}
+						}
+						for r := 0; r < n; r++ {
+							inc := alg.Increase(s, r)
+							w := s[r].Cwnd
+							if w < MinCwnd {
+								w = MinCwnd
+							}
+							if inc > 1/w+1e-12 {
+								t.Fatalf("PerAck=%v trial %d subflow %d: increase %v exceeds cap 1/w=%v (state %+v)",
+									alg.PerAck, trial, r, inc, 1/w, s)
+							}
+						}
+					}
+				}
+			},
+		},
+		{
+			name: "COUPLED/shifts-window-to-least-congested-path",
+			check: func(t *testing.T) {
+				// Path 0 is 10× less congested than path 1; at COUPLED's
+				// equilibrium essentially all window sits on path 0, with
+				// path 1 pinned near the MinCwnd probe floor (§2.4).
+				avg := aimdEquilibrium(Coupled{}, []float64{0.002, 0.02}, []float64{0.1, 0.1}, 40000, 5)
+				if avg[0] < 4*avg[1] {
+					t.Errorf("windows (%.2f, %.2f): least-congested path should dominate", avg[0], avg[1])
+				}
+				// Flipping the loss rates must flip the allocation: the
+				// shift tracks congestion, not path index.
+				flipped := aimdEquilibrium(Coupled{}, []float64{0.02, 0.002}, []float64{0.1, 0.1}, 40000, 5)
+				if flipped[1] < 4*flipped[0] {
+					t.Errorf("flipped windows (%.2f, %.2f): allocation did not follow congestion", flipped[0], flipped[1])
+				}
+			},
+		},
+		{
+			name: "EWTCP/splits-equally-on-symmetric-paths",
+			check: func(t *testing.T) {
+				avg := aimdEquilibrium(EWTCP{}, []float64{0.01, 0.01}, []float64{0.1, 0.1}, 40000, 7)
+				ratio := avg[0] / avg[1]
+				if ratio < 0.75 || ratio > 1/0.75 {
+					t.Errorf("windows (%.2f, %.2f), ratio %.2f: symmetric paths should split evenly", avg[0], avg[1], ratio)
+				}
+				// And each path carries a real share, not a probe floor.
+				for r, w := range avg {
+					if w < 2*MinCwnd {
+						t.Errorf("path %d window %.2f stuck at the floor", r, w)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, tc.check)
+	}
+}

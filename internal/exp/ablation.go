@@ -37,10 +37,21 @@ func runAblationCap(cfg Config) *Result {
 		Title: "Fixed-loss WiFi(4%,10ms)/3G(1%,100ms), pkt/s: the §2.5 cap + RTT compensation vs the plain SEMICOUPLED increase",
 		Cols:  []string{"algorithm", "pkt/s", "WiFi pkt/s", "3G pkt/s"},
 	}
-	algs := []core.Algorithm{&core.MPTCP{}, core.SemiCoupled{}, core.SemiCoupled{A: 1}}
-	names := []string{"MPTCP (eq. 1)", "SEMICOUPLED a=1/n", "SEMICOUPLED a=1"}
-	for i, alg := range algs {
-		w := newWorld(cfg.Seed)
+	// Explicit metric keys: both SemiCoupled variants share Name()
+	// "SEMICOUPLED", so metricName would collide and the a=1 cell would
+	// silently overwrite the a=1/n value.
+	variants := []struct {
+		name   string
+		metric string
+		alg    func() core.Algorithm
+	}{
+		{"MPTCP (eq. 1)", "mptcp_pktps", func() core.Algorithm { return &core.MPTCP{} }},
+		{"SEMICOUPLED a=1/n", "semicoupled_pktps", func() core.Algorithm { return core.SemiCoupled{} }},
+		{"SEMICOUPLED a=1", "semicoupled_a1_pktps", func() core.Algorithm { return core.SemiCoupled{A: 1} }},
+	}
+	cells := RunCells(cfg, len(variants), func(cell Config, i int) CellResult {
+		alg := variants[i].alg()
+		w := newWorld(cell.Seed)
 		wifi := topo.NewDuplexPkt("wifi", 5000, 5*sim.Millisecond, 5000)
 		wifi.AB.LossRate = 0.04
 		g3 := topo.NewDuplexPkt("3g", 5000, 50*sim.Millisecond, 5000)
@@ -56,9 +67,12 @@ func runAblationCap(cfg Config) *Result {
 		dur := end - warm
 		rw := pktps(c.SubflowDelivered(0)-b0, dur)
 		rg := pktps(c.SubflowDelivered(1)-b1, dur)
-		table.Rows = append(table.Rows, []string{names[i], f0(rw + rg), f0(rw), f0(rg)})
-		res.Metrics[metricName(alg, "pktps")] = rw + rg
-	}
+		return CellResult{
+			Row:     []string{variants[i].name, f0(rw + rg), f0(rw), f0(rg)},
+			Metrics: map[string]float64{variants[i].metric: rw + rg},
+		}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
 	res.note("SEMICOUPLED weights windows by 1/p_r with no regard to RTT, so the short-RTT lossy WiFi path is underused; eq. (1) recovers it")
 	return res
@@ -74,8 +88,10 @@ func runAblationPerAck(cfg Config) *Result {
 		Title: "Torus (C=500 pkt/s): per-ACK eq.(1) vs recompute-on-window-growth",
 		Cols:  []string{"variant", "mean flow pkt/s", "pA/pC"},
 	}
-	for _, perAck := range []bool{true, false} {
-		w := newWorld(cfg.Seed)
+	perAckVariants := []bool{true, false}
+	cells := RunCells(cfg, len(perAckVariants), func(cell Config, i int) CellResult {
+		perAck := perAckVariants[i]
+		w := newWorld(cell.Seed)
 		tor := topo.NewTorus([]float64{1000, 1000, 500, 1000, 1000}, rtt)
 		conns := make([]*transport.Conn, 5)
 		for i := range conns {
@@ -98,9 +114,12 @@ func runAblationPerAck(cfg Config) *Result {
 			name = "per-ACK"
 			metric = "peracck_pktps"
 		}
-		table.Rows = append(table.Rows, []string{name, f0(meanPkt), f2(ratio)})
-		res.Metrics[metric] = meanPkt
-	}
+		return CellResult{
+			Row:     []string{name, f0(meanPkt), f2(ratio)},
+			Metrics: map[string]float64{metric: meanPkt},
+		}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
 	return res
 }
@@ -114,8 +133,10 @@ func runAblationReinject(cfg Config) *Result {
 		Title: "8 MB transfer, path 2 dies mid-flight",
 		Cols:  []string{"variant", "completed", "delivered pkts"},
 	}
-	for _, disable := range []bool{false, true} {
-		w := newWorld(cfg.Seed)
+	disableVariants := []bool{false, true}
+	cells := RunCells(cfg, len(disableVariants), func(cell Config, i int) CellResult {
+		disable := disableVariants[i]
+		w := newWorld(cell.Seed)
 		l1 := topo.NewDuplex("p1", 10, 10*sim.Millisecond, 50)
 		l2 := topo.NewDuplex("p2", 10, 10*sim.Millisecond, 50)
 		c := transport.NewConn(w.n, transport.Config{
@@ -125,25 +146,24 @@ func runAblationReinject(cfg Config) *Result {
 			DisableReinject: disable,
 		})
 		c.Start()
-		w.s.At(cfg.dur(2*sim.Second), func() { l2.SetDown(true) })
-		w.s.RunUntil(cfg.dur(120 * sim.Second))
+		w.s.At(cell.dur(2*sim.Second), func() { l2.SetDown(true) })
+		w.s.RunUntil(cell.dur(120 * sim.Second))
 		name := "reinjection on (§6)"
 		metric := "reinject_done"
 		if disable {
 			name = "reinjection off"
 			metric = "noreinject_done"
 		}
-		done := "no"
+		done, doneMetric := "no", 0.0
 		if c.Done() {
-			done = "yes"
+			done, doneMetric = "yes", 1
 		}
-		table.Rows = append(table.Rows, []string{name, done, f0(float64(c.Delivered()))})
-		if c.Done() {
-			res.Metrics[metric] = 1
-		} else {
-			res.Metrics[metric] = 0
+		return CellResult{
+			Row:     []string{name, done, f0(float64(c.Delivered()))},
+			Metrics: map[string]float64{metric: doneMetric},
 		}
-	}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
 	return res
 }

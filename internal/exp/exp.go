@@ -26,6 +26,10 @@ type Config struct {
 	// data-centre topologies) so the suite can run quickly in tests.
 	// 1.0 reproduces the paper-fidelity setup.
 	Scale float64
+	// Parallelism bounds how many trial cells run concurrently (see
+	// RunCells). Zero means runtime.GOMAXPROCS(0); results are
+	// bit-identical for every value.
+	Parallelism int
 }
 
 func (c Config) norm() Config {

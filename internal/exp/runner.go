@@ -1,0 +1,193 @@
+// Parallel deterministic execution of experiment cells.
+//
+// Every experiment in this package decomposes into independent trial
+// cells — one (algorithm × parameter) combination, each running its own
+// simulator instance. Cells never share mutable state (each builds a
+// fresh world and fresh algorithm instances), so they can fan out across
+// a bounded worker pool. Determinism is preserved by derivation, not by
+// ordering: cell i of a run with base seed s always simulates with seed
+// CellSeed(s, i) = s*1e6 + i, and results are collected by cell index,
+// so the output is bit-identical for any Parallelism and any goroutine
+// schedule. See DESIGN.md §"Parallel runner" for the full scheme.
+
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// cellSeedStride separates the seed spaces of adjacent base seeds; an
+// experiment may use up to cellSeedStride cells per run.
+const cellSeedStride = 1_000_000
+
+// CellSeed derives the simulator seed for trial cell idx of a run whose
+// base seed is base. Distinct (base, idx) pairs give distinct seeds for
+// any idx < cellSeedStride, so adding cells to an experiment never
+// perturbs the seeds of the cells before them.
+func CellSeed(base int64, idx int) int64 {
+	return base*cellSeedStride + int64(idx)
+}
+
+// Runner executes independent units of work on a bounded worker pool.
+type Runner struct {
+	// Parallelism bounds the number of concurrently running units.
+	// Zero or negative means runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+func (r Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(i) for every i in [0, n), at most workers() at a time, and
+// returns once all calls have completed. fn must write its output only
+// to slots indexed by i (never to shared state), which keeps Do
+// race-free and its callers' results independent of scheduling order.
+func (r Runner) Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// RunCells fans the n trial cells of one experiment out across cfg's
+// worker pool and returns their outputs in cell order. Cell i receives
+// a copy of cfg whose Seed is CellSeed(cfg.Seed, i); everything the cell
+// simulates must derive its randomness from that seed (build worlds with
+// newWorld(cell.Seed), auxiliary generators with cell.Seed offsets) and
+// algorithm instances must be constructed inside fn, since cells run
+// concurrently.
+func RunCells[T any](cfg Config, n int, fn func(cell Config, idx int) T) []T {
+	cfg = cfg.norm()
+	out := make([]T, n)
+	Runner{Parallelism: cfg.Parallelism}.Do(n, func(i int) {
+		cell := cfg
+		cell.Seed = CellSeed(cfg.Seed, i)
+		out[i] = fn(cell, i)
+	})
+	return out
+}
+
+// CellResult is the common per-cell output shape: one table row plus the
+// headline metrics and notes the cell contributes to the experiment's
+// Result. Cells with richer output (figures, cross-cell aggregates)
+// return their own types from RunCells and assemble by hand.
+type CellResult struct {
+	Row     []string
+	Metrics map[string]float64
+	Notes   []string
+}
+
+// Collect appends cell outputs to res in cell order: rows to table (when
+// non-nil), metrics and notes into res. Because RunCells already ordered
+// cells by index, the assembled Result is identical for any Parallelism.
+func Collect(res *Result, table *Table, cells []CellResult) {
+	for _, c := range cells {
+		if table != nil && c.Row != nil {
+			table.Rows = append(table.Rows, c.Row)
+		}
+		for k, v := range c.Metrics {
+			res.Metrics[k] = v
+		}
+		res.Notes = append(res.Notes, c.Notes...)
+	}
+}
+
+// TrialResult is one (experiment × trial) cell of a batch run. Seed and
+// Scale are the normalised values the trial actually ran with.
+type TrialResult struct {
+	ID      string
+	Ref     string // the experiment's table/figure in the paper
+	Trial   int
+	Seed    int64
+	Scale   float64
+	WallSec float64
+	Result  *Result
+}
+
+// RunBatch runs every experiment in exps for trials repetitions on the
+// worker pool and returns the results grouped by experiment, trials in
+// order. Trial t of any experiment uses base seed cfg.Seed + t, so a
+// batch is reproducible from (Seed, Scale, trials) alone. The outer
+// batch pool and each experiment's inner cell pool are both bounded by
+// cfg.Parallelism; modest oversubscription of CPU-bound work is left to
+// the Go scheduler.
+func RunBatch(cfg Config, exps []*Experiment, trials int) []TrialResult {
+	var out []TrialResult
+	RunBatchStream(cfg, exps, trials, func(tr TrialResult) {
+		out = append(out, tr)
+	})
+	return out
+}
+
+// RunBatchStream is RunBatch with streaming delivery: emit is called for
+// every trial in the same deterministic (experiment, trial) order, but
+// as soon as the trial and all its predecessors have completed, so a
+// long batch produces output while it runs instead of only at the end.
+// emit calls are serialised; they run on worker goroutines and should
+// not block for long.
+func RunBatchStream(cfg Config, exps []*Experiment, trials int, emit func(TrialResult)) {
+	cfg = cfg.norm()
+	if trials < 1 {
+		trials = 1
+	}
+	n := len(exps) * trials
+	results := make([]TrialResult, n)
+	ready := make([]bool, n)
+	var mu sync.Mutex
+	next := 0
+	Runner{Parallelism: cfg.Parallelism}.Do(n, func(i int) {
+		e, t := exps[i/trials], i%trials
+		tcfg := cfg
+		tcfg.Seed = cfg.Seed + int64(t)
+		start := time.Now()
+		res := e.Run(tcfg)
+		tr := TrialResult{
+			ID:      e.ID,
+			Ref:     e.Ref,
+			Trial:   t,
+			Seed:    tcfg.Seed,
+			Scale:   tcfg.Scale,
+			WallSec: time.Since(start).Seconds(),
+			Result:  res,
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		results[i], ready[i] = tr, true
+		for next < n && ready[next] {
+			emit(results[next])
+			results[next] = TrialResult{} // free the emitted Result
+			next++
+		}
+	})
+}

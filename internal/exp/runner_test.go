@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunnerDoRunsEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 16} {
+		n := 37
+		counts := make([]int32, n)
+		Runner{Parallelism: par}.Do(n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("parallelism %d: index %d ran %d times", par, i, c)
+			}
+		}
+	}
+}
+
+func TestRunnerDoBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	Runner{Parallelism: limit}.Do(50, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > limit {
+		t.Errorf("observed %d concurrent units, limit %d", peak, limit)
+	}
+}
+
+func TestRunnerDoEmpty(t *testing.T) {
+	called := false
+	Runner{}.Do(0, func(int) { called = true })
+	if called {
+		t.Error("Do(0) ran the body")
+	}
+}
+
+func TestCellSeedDerivation(t *testing.T) {
+	if got := CellSeed(42, 0); got != 42*cellSeedStride {
+		t.Errorf("CellSeed(42, 0) = %d", got)
+	}
+	if got := CellSeed(42, 7); got != 42*cellSeedStride+7 {
+		t.Errorf("CellSeed(42, 7) = %d", got)
+	}
+	// Distinct (base, idx) pairs within the stride give distinct seeds.
+	seen := map[int64]bool{}
+	for base := int64(1); base <= 3; base++ {
+		for idx := 0; idx < 100; idx++ {
+			s := CellSeed(base, idx)
+			if seen[s] {
+				t.Fatalf("seed collision at base %d idx %d", base, idx)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRunCellsOrderAndSeeds(t *testing.T) {
+	type out struct {
+		idx  int
+		seed int64
+	}
+	cells := RunCells(Config{Seed: 9, Parallelism: 4}, 25, func(cell Config, i int) out {
+		return out{idx: i, seed: cell.Seed}
+	})
+	for i, c := range cells {
+		if c.idx != i {
+			t.Errorf("slot %d holds cell %d", i, c.idx)
+		}
+		if c.seed != CellSeed(9, i) {
+			t.Errorf("cell %d seed %d, want %d", i, c.seed, CellSeed(9, i))
+		}
+	}
+}
+
+func TestCollectKeepsCellOrder(t *testing.T) {
+	res := newResult("x")
+	table := Table{Cols: []string{"name"}}
+	Collect(res, &table, []CellResult{
+		{Row: []string{"a"}, Metrics: map[string]float64{"a": 1}},
+		{Metrics: map[string]float64{"b": 2}, Notes: []string{"note-b"}},
+		{Row: []string{"c"}},
+	})
+	if len(table.Rows) != 2 || table.Rows[0][0] != "a" || table.Rows[1][0] != "c" {
+		t.Errorf("rows = %v", table.Rows)
+	}
+	if res.Metrics["a"] != 1 || res.Metrics["b"] != 2 {
+		t.Errorf("metrics = %v", res.Metrics)
+	}
+	if len(res.Notes) != 1 || res.Notes[0] != "note-b" {
+		t.Errorf("notes = %v", res.Notes)
+	}
+}
+
+// TestDeterminismAcrossParallelism is the regression test for the
+// parallel runner's core guarantee: a representative multi-cell
+// experiment produces bit-identical results whether its cells run on one
+// worker or eight, because every cell's randomness derives from
+// CellSeed(base, idx) rather than from scheduling order.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	for _, id := range []string{"fig8-torus", "sec23-wifi3g-model"} {
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("%s not registered", id)
+			}
+			serial := e.Run(Config{Seed: 5, Scale: 0.02, Parallelism: 1})
+			parallel := e.Run(Config{Seed: 5, Scale: 0.02, Parallelism: 8})
+			if !reflect.DeepEqual(serial.Metrics, parallel.Metrics) {
+				t.Errorf("metrics diverge across parallelism:\n  serial:   %v\n  parallel: %v",
+					serial.Metrics, parallel.Metrics)
+			}
+			var sa, sb strings.Builder
+			serial.Render(&sa)
+			parallel.Render(&sb)
+			if sa.String() != sb.String() {
+				t.Error("rendered reports diverge across parallelism")
+			}
+		})
+	}
+}
+
+func TestRunBatchOrderSeedsAndDeterminism(t *testing.T) {
+	e1, _ := Get("fig3-mesh")
+	e2, _ := Get("ablation-reinject")
+	exps := []*Experiment{e1, e2}
+	cfg := Config{Seed: 3, Scale: 0.02, Parallelism: 4}
+	batch := RunBatch(cfg, exps, 2)
+	if len(batch) != 4 {
+		t.Fatalf("got %d trial results, want 4", len(batch))
+	}
+	wantIDs := []string{"fig3-mesh", "fig3-mesh", "ablation-reinject", "ablation-reinject"}
+	for i, tr := range batch {
+		if tr.ID != wantIDs[i] || tr.Trial != i%2 {
+			t.Errorf("slot %d: got (%s, trial %d)", i, tr.ID, tr.Trial)
+		}
+		if tr.Seed != cfg.Seed+int64(i%2) {
+			t.Errorf("slot %d: seed %d, want %d", i, tr.Seed, cfg.Seed+int64(i%2))
+		}
+		if tr.Result == nil || tr.Result.ID != tr.ID {
+			t.Errorf("slot %d: bad result %+v", i, tr.Result)
+		}
+	}
+	serial := RunBatch(Config{Seed: 3, Scale: 0.02, Parallelism: 1}, exps, 2)
+	for i := range batch {
+		if !reflect.DeepEqual(batch[i].Result.Metrics, serial[i].Result.Metrics) {
+			t.Errorf("trial %d metrics diverge between batch parallelism 4 and 1", i)
+		}
+	}
+	// Streaming delivery preserves the deterministic order and payloads.
+	var streamed []TrialResult
+	RunBatchStream(cfg, exps, 2, func(tr TrialResult) { streamed = append(streamed, tr) })
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d trials, want %d", len(streamed), len(batch))
+	}
+	for i := range streamed {
+		if streamed[i].ID != batch[i].ID || streamed[i].Trial != batch[i].Trial {
+			t.Errorf("stream slot %d: got (%s, trial %d), want (%s, trial %d)",
+				i, streamed[i].ID, streamed[i].Trial, batch[i].ID, batch[i].Trial)
+		}
+		if !reflect.DeepEqual(streamed[i].Result.Metrics, batch[i].Result.Metrics) {
+			t.Errorf("stream slot %d metrics diverge from collected batch", i)
+		}
+	}
+}

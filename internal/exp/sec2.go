@@ -44,8 +44,9 @@ func runFig2(cfg Config) *Result {
 		Title: "Per-flow throughput (Mb/s); optimal = 12 (one-hop only), even split = 8",
 		Cols:  []string{"algorithm", "flowA", "flowB", "flowC", "mean", "one-hop share"},
 	}
-	for _, alg := range algSet() {
-		w := newWorld(cfg.Seed)
+	cells := RunCells(cfg, len(algSet()), func(cell Config, i int) CellResult {
+		alg := algSet()[i]
+		w := newWorld(cell.Seed)
 		links := make([]*topo.Duplex, 3)
 		for i := range links {
 			links[i] = topo.NewDuplex("tri"+string(rune('A'+i)), 12, rtt/2, topo.BDPPackets(12, rtt))
@@ -67,12 +68,15 @@ func runFig2(cfg Config) *Result {
 		}
 		mean := (rates[0] + rates[1] + rates[2]) / 3
 		share := float64(oneHop) / float64(total)
-		table.Rows = append(table.Rows, []string{
-			alg.Name(), f2(rates[0]), f2(rates[1]), f2(rates[2]), f2(mean), f2(share),
-		})
-		res.Metrics[metricName(alg, "mean_mbps")] = mean
-		res.Metrics[metricName(alg, "onehop_share")] = share
-	}
+		return CellResult{
+			Row: []string{alg.Name(), f2(rates[0]), f2(rates[1]), f2(rates[2]), f2(mean), f2(share)},
+			Metrics: map[string]float64{
+				metricName(alg, "mean_mbps"):    mean,
+				metricName(alg, "onehop_share"): share,
+			},
+		}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
 	res.note("paper: even split gives 8 Mb/s/flow, EWTCP ~8.5, optimal (one-hop only) 12; COUPLED/MPTCP should approach the optimum")
 	return res
@@ -89,8 +93,9 @@ func runFig3(cfg Config) *Result {
 		Title: "Per-flow totals (Mb/s) and link loss-rate spread; paper: EWTCP (11,11,8) vs COUPLED (10,10,10)",
 		Cols:  []string{"algorithm", "flowA", "flowB", "flowC", "max/min link loss"},
 	}
-	for _, alg := range algSet() {
-		w := newWorld(cfg.Seed)
+	cells := RunCells(cfg, len(algSet()), func(cell Config, i int) CellResult {
+		alg := algSet()[i]
+		w := newWorld(cell.Seed)
 		links := make([]*topo.Duplex, 4)
 		for i, c := range caps {
 			links[i] = topo.NewDuplex("mesh"+string(rune('0'+i)), c, rtt/2, topo.BDPPackets(c, rtt))
@@ -119,13 +124,16 @@ func runFig3(cfg Config) *Result {
 		if lo > 0 {
 			spread = hi / lo
 		}
-		table.Rows = append(table.Rows, []string{
-			alg.Name(), f2(rates[0]), f2(rates[1]), f2(rates[2]), f1(spread),
-		})
-		res.Metrics[metricName(alg, "flowA_mbps")] = rates[0]
-		res.Metrics[metricName(alg, "flowC_mbps")] = rates[2]
-		res.Metrics[metricName(alg, "loss_spread")] = spread
-	}
+		return CellResult{
+			Row: []string{alg.Name(), f2(rates[0]), f2(rates[1]), f2(rates[2]), f1(spread)},
+			Metrics: map[string]float64{
+				metricName(alg, "flowA_mbps"):  rates[0],
+				metricName(alg, "flowC_mbps"):  rates[2],
+				metricName(alg, "loss_spread"): spread,
+			},
+		}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
 	return res
 }
@@ -147,34 +155,46 @@ func runSec23(cfg Config) *Result {
 		return d
 	}
 
+	flows := []struct {
+		name   string
+		metric string
+		alg    func() core.Algorithm
+		both   bool
+	}{
+		{"TCP-WiFi", "tcp_wifi_pktps", func() core.Algorithm { return core.Regular{} }, false},
+		{"TCP-3G", "tcp_3g_pktps", func() core.Algorithm { return core.Regular{} }, false},
+		{"EWTCP", "ewtcp_pktps", func() core.Algorithm { return core.EWTCP{} }, true},
+		{"COUPLED", "coupled_pktps", func() core.Algorithm { return core.Coupled{} }, true},
+		{"MPTCP", "mptcp_pktps", func() core.Algorithm { return &core.MPTCP{} }, true},
+	}
 	table := Table{
 		Title: "Throughput under fixed loss (pkt/s); paper: TCP-WiFi 707, TCP-3G 141, EWTCP 424, COUPLED 141, MPTCP >= 707",
 		Cols:  []string{"flow", "pkt/s"},
 	}
-	run := func(name string, alg core.Algorithm, both bool) float64 {
-		w := newWorld(cfg.Seed)
+	cells := RunCells(cfg, len(flows), func(cell Config, i int) CellResult {
+		fl := flows[i]
+		w := newWorld(cell.Seed)
 		var paths []transport.Path
-		if both {
+		switch {
+		case fl.both:
 			paths = []transport.Path{topo.PathThrough(mkWiFi()), topo.PathThrough(mk3G())}
-		} else if name == "TCP-WiFi" {
+		case fl.name == "TCP-WiFi":
 			paths = []transport.Path{topo.PathThrough(mkWiFi())}
-		} else {
+		default:
 			paths = []transport.Path{topo.PathThrough(mk3G())}
 		}
-		c := transport.NewConn(w.n, transport.Config{Alg: alg, Paths: paths})
+		c := transport.NewConn(w.n, transport.Config{Alg: fl.alg(), Paths: paths})
 		c.Start()
 		w.s.RunUntil(warm)
 		base := c.Delivered()
 		w.s.RunUntil(end)
 		rate := pktps(c.Delivered()-base, end-warm)
-		table.Rows = append(table.Rows, []string{name, f0(rate)})
-		return rate
-	}
-	res.Metrics["tcp_wifi_pktps"] = run("TCP-WiFi", core.Regular{}, false)
-	res.Metrics["tcp_3g_pktps"] = run("TCP-3G", core.Regular{}, false)
-	res.Metrics["ewtcp_pktps"] = run("EWTCP", core.EWTCP{}, true)
-	res.Metrics["coupled_pktps"] = run("COUPLED", core.Coupled{}, true)
-	res.Metrics["mptcp_pktps"] = run("MPTCP", &core.MPTCP{}, true)
+		return CellResult{
+			Row:     []string{fl.name, f0(rate)},
+			Metrics: map[string]float64{fl.metric: rate},
+		}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
 	res.note("√(2/p)/RTT predicts 707 and 141 pkt/s; packet-level rates run lower (timeouts at 4%% loss) but the ordering EWTCP in-between, COUPLED at 3G rate, MPTCP near best-path must hold")
 	return res
@@ -190,8 +210,9 @@ func runFig5(cfg Config) *Result {
 		Title: "Multipath throughput (Mb/s) per phase: A = 2 TCPs/link, B = top TCP gone, C = top TCP back",
 		Cols:  []string{"algorithm", "phaseA", "phaseB", "phaseC", "C recovery vs A"},
 	}
-	for _, alg := range algSet() {
-		w := newWorld(cfg.Seed)
+	cells := RunCells(cfg, len(algSet()), func(cell Config, i int) CellResult {
+		alg := algSet()[i]
+		w := newWorld(cell.Seed)
 		top := topo.NewDuplex("top", 10, rtt/2, topo.BDPPackets(10, rtt))
 		bot := topo.NewDuplex("bot", 10, rtt/2, topo.BDPPackets(10, rtt))
 		mkTCP := func(d *topo.Duplex) *transport.Conn {
@@ -228,11 +249,16 @@ func runFig5(cfg Config) *Result {
 		rb := mbps(b1-b0, phase-third)
 		rc := mbps(c1-c0, phase-third)
 		rec := rc / ra
-		table.Rows = append(table.Rows, []string{alg.Name(), f2(ra), f2(rb), f2(rc), f2(rec)})
-		res.Metrics[metricName(alg, "phaseA_mbps")] = ra
-		res.Metrics[metricName(alg, "phaseB_mbps")] = rb
-		res.Metrics[metricName(alg, "phaseC_mbps")] = rc
-	}
+		return CellResult{
+			Row: []string{alg.Name(), f2(ra), f2(rb), f2(rc), f2(rec)},
+			Metrics: map[string]float64{
+				metricName(alg, "phaseA_mbps"): ra,
+				metricName(alg, "phaseB_mbps"): rb,
+				metricName(alg, "phaseC_mbps"): rc,
+			},
+		}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
 	res.note("after the departed TCP returns (phase C), a trapped algorithm is left with less than it had in phase A; MPTCP's per-path probe cap lets it re-balance")
 	return res

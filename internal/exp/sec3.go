@@ -43,6 +43,7 @@ func runFig8(cfg Config) *Result {
 	rtt := 100 * sim.Millisecond
 	warm, end := cfg.dur(50*sim.Second), cfg.dur(250*sim.Second)
 	capsC := []float64{100, 250, 500, 750, 1000}
+	algs := algSet()
 
 	fig := Figure{
 		Title:  "Fig. 8: loss-rate ratio pA/pC vs capacity of link C (1.0 = perfectly balanced congestion)",
@@ -53,32 +54,40 @@ func runFig8(cfg Config) *Result {
 		Title: "Jain's fairness index of flow rates at C=100 pkt/s; paper: EWTCP 0.92, MPTCP 0.986, COUPLED 0.99",
 		Cols:  []string{"algorithm", "jain@C=100", "pA/pC@C=100"},
 	}
-	for _, alg := range algSet() {
+	// One cell per (algorithm, link-C capacity) pair.
+	type torusOut struct{ ratio, jain float64 }
+	cells := RunCells(cfg, len(algs)*len(capsC), func(cell Config, idx int) torusOut {
+		alg := algSet()[idx/len(capsC)]
+		capC := capsC[idx%len(capsC)]
+		w := newWorld(cell.Seed)
+		rates := []float64{1000, 1000, capC, 1000, 1000}
+		tor := topo.NewTorus(rates, rtt)
+		conns := make([]*transport.Conn, 5)
+		for i := range conns {
+			conns[i] = transport.NewConn(w.n, transport.Config{
+				Alg:   freshAlg(alg),
+				Paths: tor.FlowPaths(i),
+			})
+			conns[i].Start()
+		}
+		flowRates := w.measure(conns, warm, end)
+		pA := tor.Links[0].AB.Stats.LossFraction()
+		pC := tor.Links[2].AB.Stats.LossFraction()
+		ratio := 0.0
+		if pC > 0 {
+			ratio = pA / pC
+		}
+		return torusOut{ratio: ratio, jain: model.JainIndex(flowRates)}
+	})
+	for ai, alg := range algs {
 		curve := Curve{Name: alg.Name()}
 		var jainAt100, ratioAt100 float64
-		for _, capC := range capsC {
-			w := newWorld(cfg.Seed)
-			rates := []float64{1000, 1000, capC, 1000, 1000}
-			tor := topo.NewTorus(rates, rtt)
-			conns := make([]*transport.Conn, 5)
-			for i := range conns {
-				conns[i] = transport.NewConn(w.n, transport.Config{
-					Alg:   freshAlg(alg),
-					Paths: tor.FlowPaths(i),
-				})
-				conns[i].Start()
-			}
-			flowRates := w.measure(conns, warm, end)
-			pA := tor.Links[0].AB.Stats.LossFraction()
-			pC := tor.Links[2].AB.Stats.LossFraction()
-			ratio := 0.0
-			if pC > 0 {
-				ratio = pA / pC
-			}
-			curve.Pts = append(curve.Pts, Point{X: capC, Y: ratio})
+		for ci, capC := range capsC {
+			out := cells[ai*len(capsC)+ci]
+			curve.Pts = append(curve.Pts, Point{X: capC, Y: out.ratio})
 			if capC == 100 {
-				jainAt100 = model.JainIndex(flowRates)
-				ratioAt100 = ratio
+				jainAt100 = out.jain
+				ratioAt100 = out.ratio
 			}
 		}
 		fig.Curves = append(fig.Curves, curve)
@@ -102,8 +111,9 @@ func runTableDynamic(cfg Config) *Result {
 		Title: "Multipath throughput (Mb/s) with bursty CBR on the top link; paper: EWTCP 85/100, MPTCP 83/99.8, COUPLED 55/99.4",
 		Cols:  []string{"algorithm", "top link", "bottom link", "total"},
 	}
-	for _, alg := range algSet() {
-		w := newWorld(cfg.Seed)
+	cells := RunCells(cfg, len(algSet()), func(cell Config, i int) CellResult {
+		alg := algSet()[i]
+		w := newWorld(cell.Seed)
 		// 2 ms propagation each way: the paper's "10 ms RTT" includes
 		// queueing delay (a full 50-packet buffer adds ~6 ms), and the
 		// 50-packet buffer must cover the bandwidth-delay product for
@@ -124,10 +134,15 @@ func runTableDynamic(cfg Config) *Result {
 		dur := end - warm
 		topR := mbps(mp.SubflowDelivered(0)-b0, dur)
 		botR := mbps(mp.SubflowDelivered(1)-b1, dur)
-		table.Rows = append(table.Rows, []string{alg.Name(), f1(topR), f1(botR), f1(topR + botR)})
-		res.Metrics[metricName(alg, "top_mbps")] = topR
-		res.Metrics[metricName(alg, "bottom_mbps")] = botR
-	}
+		return CellResult{
+			Row: []string{alg.Name(), f1(topR), f1(botR), f1(topR + botR)},
+			Metrics: map[string]float64{
+				metricName(alg, "top_mbps"):    topR,
+				metricName(alg, "bottom_mbps"): botR,
+			},
+		}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
 	res.note("the CBR's 10 ms bursts at line rate mean ~91%% of the top link is free on average; COUPLED gets trapped off the top link after each burst (§2.4)")
 	return res
@@ -135,147 +150,153 @@ func runTableDynamic(cfg Config) *Result {
 
 func runFig10(cfg Config) *Result {
 	cfg = cfg.norm()
-	res := newResult("fig10-server-lb")
 	join := cfg.dur(60 * sim.Second)
 	end := cfg.dur(180 * sim.Second)
 	rtt := 20 * sim.Millisecond
 
-	w := newWorld(cfg.Seed)
-	d := topo.NewDualHomed(100, rtt/2, topo.BDPPackets(100, rtt))
-	var g1, g2, mps []*transport.Conn
-	for i := 0; i < 5; i++ {
-		c := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(1)})
-		c.Start()
-		g1 = append(g1, c)
-	}
-	for i := 0; i < 15; i++ {
-		c := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(2)})
-		c.Start()
-		g2 = append(g2, c)
-	}
-	w.s.At(join, func() {
-		for i := 0; i < 10; i++ {
-			c := transport.NewConn(w.n, transport.Config{Alg: &core.MPTCP{}, Paths: d.MultipathPaths()})
+	// A single scenario with shared dynamic state: one cell.
+	return RunCells(cfg, 1, func(cell Config, _ int) *Result {
+		res := newResult("fig10-server-lb")
+		w := newWorld(cell.Seed)
+		d := topo.NewDualHomed(100, rtt/2, topo.BDPPackets(100, rtt))
+		var g1, g2, mps []*transport.Conn
+		for i := 0; i < 5; i++ {
+			c := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(1)})
 			c.Start()
-			mps = append(mps, c)
+			g1 = append(g1, c)
 		}
-	})
-
-	sum := func(conns []*transport.Conn) float64 {
-		var t int64
-		for _, c := range conns {
-			t += c.Delivered()
+		for i := 0; i < 15; i++ {
+			c := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(2)})
+			c.Start()
+			g2 = append(g2, c)
 		}
-		return float64(t)
-	}
-	sampler := metrics.NewSampler(w.s, cfg.dur(2*sim.Second))
-	sampler.Probe("link1-tcps", func() float64 { return sum(g1) })
-	sampler.Probe("link2-tcps", func() float64 { return sum(g2) })
-	sampler.Probe("mptcp", func() float64 { return sum(mps) })
-	sampler.Start()
-	w.s.RunUntil(end)
+		w.s.At(join, func() {
+			for i := 0; i < 10; i++ {
+				c := transport.NewConn(w.n, transport.Config{Alg: &core.MPTCP{}, Paths: d.MultipathPaths()})
+				c.Start()
+				mps = append(mps, c)
+			}
+		})
 
-	fig := Figure{
-		Title:  "Fig. 10: aggregate throughput per group (Mb/s); MPTCP flows join at t=60s·scale",
-		XLabel: "time (s)",
-		YLabel: "Mb/s",
-	}
-	for _, name := range sampler.Names() {
-		rate := sampler.Series(name).Rate()
-		c := Curve{Name: name}
-		for i := 0; i < rate.Len(); i++ {
-			c.Pts = append(c.Pts, Point{X: rate.Times[i].Seconds(), Y: rate.Vals[i] * 1500 * 8 / 1e6})
+		sum := func(conns []*transport.Conn) float64 {
+			var t int64
+			for _, c := range conns {
+				t += c.Delivered()
+			}
+			return float64(t)
 		}
-		fig.Curves = append(fig.Curves, c)
-	}
-	res.Figures = append(res.Figures, fig)
+		sampler := metrics.NewSampler(w.s, cell.dur(2*sim.Second))
+		sampler.Probe("link1-tcps", func() float64 { return sum(g1) })
+		sampler.Probe("link2-tcps", func() float64 { return sum(g2) })
+		sampler.Probe("mptcp", func() float64 { return sum(mps) })
+		sampler.Start()
+		w.s.RunUntil(end)
 
-	// Steady state after the join: per-flow throughput by group over an
-	// extension window of the same length as the post-join period.
-	base1, base2, baseM := sum(g1), sum(g2), sum(mps)
-	dur := end - join
-	w.s.RunUntil(end + dur)
-	perFlow := func(now, base float64, n int) float64 {
-		return mbps(int64(now-base), dur) / float64(n)
-	}
-	t1 := perFlow(sum(g1), base1, 5)
-	t2 := perFlow(sum(g2), base2, 15)
-	tm := perFlow(sum(mps), baseM, 10)
-	table := Table{
-		Title: "Steady state after MPTCP joins: per-flow throughput (Mb/s); load balancing should pull the groups together",
-		Cols:  []string{"group", "per-flow Mb/s"},
-		Rows: [][]string{
-			{"5 TCPs on link1", f2(t1)},
-			{"15 TCPs on link2", f2(t2)},
-			{"10 MPTCP on both", f2(tm)},
-		},
-	}
-	res.Tables = append(res.Tables, table)
-	res.Metrics["link1_perflow_mbps"] = t1
-	res.Metrics["link2_perflow_mbps"] = t2
-	res.Metrics["mptcp_perflow_mbps"] = tm
-	// Before the join, link1 TCPs get ~20 and link2 ~6.7; perfect
-	// balancing afterwards gives everyone 200/30 = 6.7.
-	res.Metrics["imbalance_after"] = t1 / t2
-	return res
+		fig := Figure{
+			Title:  "Fig. 10: aggregate throughput per group (Mb/s); MPTCP flows join at t=60s·scale",
+			XLabel: "time (s)",
+			YLabel: "Mb/s",
+		}
+		for _, name := range sampler.Names() {
+			rate := sampler.Series(name).Rate()
+			c := Curve{Name: name}
+			for i := 0; i < rate.Len(); i++ {
+				c.Pts = append(c.Pts, Point{X: rate.Times[i].Seconds(), Y: rate.Vals[i] * 1500 * 8 / 1e6})
+			}
+			fig.Curves = append(fig.Curves, c)
+		}
+		res.Figures = append(res.Figures, fig)
+
+		// Steady state after the join: per-flow throughput by group over an
+		// extension window of the same length as the post-join period.
+		base1, base2, baseM := sum(g1), sum(g2), sum(mps)
+		dur := end - join
+		w.s.RunUntil(end + dur)
+		perFlow := func(now, base float64, n int) float64 {
+			return mbps(int64(now-base), dur) / float64(n)
+		}
+		t1 := perFlow(sum(g1), base1, 5)
+		t2 := perFlow(sum(g2), base2, 15)
+		tm := perFlow(sum(mps), baseM, 10)
+		table := Table{
+			Title: "Steady state after MPTCP joins: per-flow throughput (Mb/s); load balancing should pull the groups together",
+			Cols:  []string{"group", "per-flow Mb/s"},
+			Rows: [][]string{
+				{"5 TCPs on link1", f2(t1)},
+				{"15 TCPs on link2", f2(t2)},
+				{"10 MPTCP on both", f2(tm)},
+			},
+		}
+		res.Tables = append(res.Tables, table)
+		res.Metrics["link1_perflow_mbps"] = t1
+		res.Metrics["link2_perflow_mbps"] = t2
+		res.Metrics["mptcp_perflow_mbps"] = tm
+		// Before the join, link1 TCPs get ~20 and link2 ~6.7; perfect
+		// balancing afterwards gives everyone 200/30 = 6.7.
+		res.Metrics["imbalance_after"] = t1 / t2
+		return res
+	})[0]
 }
 
 func runServerPoisson(cfg Config) *Result {
 	cfg = cfg.norm()
-	res := newResult("table-server-poisson")
 	end := cfg.dur(300 * sim.Second)
 	phase := cfg.dur(30 * sim.Second)
 	rtt := 20 * sim.Millisecond
 
-	w := newWorld(cfg.Seed)
-	d := topo.NewDualHomed(100, rtt/2, topo.BDPPackets(100, rtt))
+	// The three multipath algorithms compete in one shared world, as in
+	// the paper, so this is a single cell.
+	return RunCells(cfg, 1, func(cell Config, _ int) *Result {
+		res := newResult("table-server-poisson")
+		w := newWorld(cell.Seed)
+		d := topo.NewDualHomed(100, rtt/2, topo.BDPPackets(100, rtt))
 
-	// Link 2: one long-lived TCP.
-	long := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(2)})
-	long.Start()
+		// Link 2: one long-lived TCP.
+		long := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(2)})
+		long.Start()
 
-	// The three multipath algorithms run simultaneously, as in the paper.
-	mpConns := make([]*transport.Conn, 0, 3)
-	for _, alg := range algSet() {
-		c := transport.NewConn(w.n, transport.Config{Alg: freshAlg(alg), Paths: d.MultipathPaths()})
-		c.Start()
-		mpConns = append(mpConns, c)
-	}
-
-	// Link 1: Poisson arrivals of Pareto-sized TCP downloads, alternating
-	// light (10/s) and heavy (60/s) phases.
-	sizes := traffic.NewParetoMean(1.5, 200e3/1500) // mean 200 kB in packets
-	pa := &traffic.PoissonArrivals{Net: w.n, Rate: 10}
-	pa.Spawn = func() {
-		n := int64(sizes.Sample(w.s.Rand()))
-		if n < 1 {
-			n = 1
+		mpConns := make([]*transport.Conn, 0, 3)
+		for _, alg := range algSet() {
+			c := transport.NewConn(w.n, transport.Config{Alg: freshAlg(alg), Paths: d.MultipathPaths()})
+			c.Start()
+			mpConns = append(mpConns, c)
 		}
-		c := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(1), DataPackets: n})
-		c.Start()
-	}
-	pa.Start()
-	var flip func()
-	flip = func() {
-		if pa.Rate == 10 {
-			pa.Rate = 60
-		} else {
-			pa.Rate = 10
+
+		// Link 1: Poisson arrivals of Pareto-sized TCP downloads, alternating
+		// light (10/s) and heavy (60/s) phases.
+		sizes := traffic.NewParetoMean(1.5, 200e3/1500) // mean 200 kB in packets
+		pa := &traffic.PoissonArrivals{Net: w.n, Rate: 10}
+		pa.Spawn = func() {
+			n := int64(sizes.Sample(w.s.Rand()))
+			if n < 1 {
+				n = 1
+			}
+			c := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(1), DataPackets: n})
+			c.Start()
+		}
+		pa.Start()
+		var flip func()
+		flip = func() {
+			if pa.Rate == 10 {
+				pa.Rate = 60
+			} else {
+				pa.Rate = 10
+			}
+			w.s.After(phase, flip)
 		}
 		w.s.After(phase, flip)
-	}
-	w.s.After(phase, flip)
 
-	rates := w.measure(mpConns, cfg.dur(20*sim.Second), end)
-	table := Table{
-		Title: "Average multipath throughput (Mb/s); paper: MPTCP 61, COUPLED 54, EWTCP 47",
-		Cols:  []string{"algorithm", "Mb/s"},
-	}
-	for i, alg := range algSet() {
-		table.Rows = append(table.Rows, []string{alg.Name(), f1(rates[i])})
-		res.Metrics[metricName(alg, "mbps")] = rates[i]
-	}
-	res.Tables = append(res.Tables, table)
-	res.note("in heavy load EWTCP moves too little off link 1; in light load COUPLED stays trapped on link 2 after bursts clear (§3)")
-	return res
+		rates := w.measure(mpConns, cell.dur(20*sim.Second), end)
+		table := Table{
+			Title: "Average multipath throughput (Mb/s); paper: MPTCP 61, COUPLED 54, EWTCP 47",
+			Cols:  []string{"algorithm", "Mb/s"},
+		}
+		for i, alg := range algSet() {
+			table.Rows = append(table.Rows, []string{alg.Name(), f1(rates[i])})
+			res.Metrics[metricName(alg, "mbps")] = rates[i]
+		}
+		res.Tables = append(res.Tables, table)
+		res.note("in heavy load EWTCP moves too little off link 1; in light load COUPLED stays trapped on link 2 after bursts clear (§3)")
+		return res
+	})[0]
 }

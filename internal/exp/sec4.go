@@ -109,6 +109,15 @@ func dcPatterns(rng *rand.Rand, n int, tp2 func() (src, dst []int)) map[string]f
 	}
 }
 
+// dcAlgCase is one row of the §4 tables.
+type dcAlgCase struct {
+	name  string
+	alg   core.Algorithm
+	paths int
+}
+
+var dcTPNames = []string{"TP1", "TP2", "TP3"}
+
 func runTableFatTree(cfg Config) *Result {
 	cfg = cfg.norm()
 	res := newResult("table-fattree")
@@ -119,34 +128,38 @@ func runTableFatTree(cfg Config) *Result {
 		Title: "FatTree per-host throughput (Mb/s); paper: single 51/94/60, EWTCP 92/92.5/99, MPTCP 95/97/99",
 		Cols:  []string{"algorithm", "TP1", "TP2", "TP3"},
 	}
-	type algCase struct {
-		name  string
-		alg   core.Algorithm
-		paths int
-	}
-	cases := []algCase{
+	cases := []dcAlgCase{
 		{"SINGLE-PATH", core.Regular{}, 1},
 		{"EWTCP", core.EWTCP{}, 8},
 		{"MPTCP", &core.MPTCP{}, 8},
 	}
-	for _, tc := range cases {
-		row := []string{tc.name}
-		for _, tpName := range []string{"TP1", "TP2", "TP3"} {
-			w := newWorld(cfg.Seed)
-			rng := rand.New(rand.NewSource(cfg.Seed + 7))
-			ft := topo.NewFatTree(topo.FatTreeConfig{K: k})
-			n := ft.NumHosts()
-			tp2 := func() (src, dst []int) { return traffic.OneToMany(rng, n, 12) }
-			src, dst := dcPatterns(rng, n, tp2)[tpName]()
-			pf := func(rng *rand.Rand, s, d int) []transport.Path {
-				if tc.paths == 1 {
-					return []transport.Path{ft.ECMPPath(rng, s, d)}
-				}
-				return ft.Paths(rng, s, d, tc.paths)
+	// One cell per (algorithm case, traffic pattern) pair.
+	vals := RunCells(cfg, len(cases)*len(dcTPNames), func(cell Config, idx int) float64 {
+		tc := cases[idx/len(dcTPNames)]
+		tpName := dcTPNames[idx%len(dcTPNames)]
+		w := newWorld(cell.Seed)
+		// Workload randomness derives from the base seed, not the cell
+		// seed: every algorithm must be measured on the identical
+		// traffic matrix for the table to compare algorithms.
+		rng := rand.New(rand.NewSource(cfg.Seed + 7))
+		ft := topo.NewFatTree(topo.FatTreeConfig{K: k})
+		n := ft.NumHosts()
+		tp2 := func() (src, dst []int) { return traffic.OneToMany(rng, n, 12) }
+		src, dst := dcPatterns(rng, n, tp2)[tpName]()
+		pf := func(rng *rand.Rand, s, d int) []transport.Path {
+			if tc.paths == 1 {
+				return []transport.Path{ft.ECMPPath(rng, s, d)}
 			}
-			conns := startFlows(w, rng, src, dst, tc.alg, pf)
-			rates := w.measure(conns, warm, end)
-			v := perHost(src, rates)
+			return ft.Paths(rng, s, d, tc.paths)
+		}
+		conns := startFlows(w, rng, src, dst, freshAlg(tc.alg), pf)
+		rates := w.measure(conns, warm, end)
+		return perHost(src, rates)
+	})
+	for ci, tc := range cases {
+		row := []string{tc.name}
+		for ti, tpName := range dcTPNames {
+			v := vals[ci*len(dcTPNames)+ti]
 			row = append(row, f1(v))
 			res.Metrics[tc.name+"_"+tpName+"_mbps"] = v
 		}
@@ -174,11 +187,12 @@ func runFig12(cfg Config) *Result {
 		XLabel: "paths used",
 		YLabel: "% of optimal",
 	}
-	mp := Curve{Name: "MPTCP"}
-	tcp := Curve{Name: "TCP (ECMP), for reference"}
-	var tcpPct float64
-	for m := 1; m <= maxPaths; m++ {
-		w := newWorld(cfg.Seed)
+	// One cell per path count m = 1..maxPaths.
+	pcts := RunCells(cfg, maxPaths, func(cell Config, idx int) float64 {
+		m := idx + 1
+		w := newWorld(cell.Seed)
+		// Base-seed workload: every path count runs the same permutation
+		// (and the m=1 TCP reference stays comparable across the curve).
 		rng := rand.New(rand.NewSource(cfg.Seed + 11))
 		ft := topo.NewFatTree(topo.FatTreeConfig{K: k})
 		d := traffic.Permutation(rng, ft.NumHosts())
@@ -190,15 +204,15 @@ func runFig12(cfg Config) *Result {
 		pf := func(rng *rand.Rand, s, dd int) []transport.Path { return ft.Paths(rng, s, dd, m) }
 		conns := startFlows(w, rng, src, dst, &core.MPTCP{}, pf)
 		rates := w.measure(conns, warm, end)
-		pct := perHost(src, rates) / 100 * 100 // NIC optimal is 100 Mb/s
+		return perHost(src, rates) / 100 * 100 // NIC optimal is 100 Mb/s
+	})
+	mp := Curve{Name: "MPTCP"}
+	tcp := Curve{Name: "TCP (ECMP), for reference"}
+	for i, pct := range pcts {
+		m := i + 1
 		mp.Pts = append(mp.Pts, Point{X: float64(m), Y: pct})
-		if m == 1 {
-			tcpPct = pct
-		}
+		tcp.Pts = append(tcp.Pts, Point{X: float64(m), Y: pcts[0]})
 		res.Metrics[fmtInt("mptcp_paths", m)] = pct
-	}
-	for m := 1; m <= maxPaths; m++ {
-		tcp.Pts = append(tcp.Pts, Point{X: float64(m), Y: tcpPct})
 	}
 	fig.Curves = append(fig.Curves, tcp, mp)
 	res.Figures = append(res.Figures, fig)
@@ -224,17 +238,21 @@ func runFig13(cfg Config) *Result {
 		XLabel: "rank of link",
 		YLabel: "loss %",
 	}
-	cases := []struct {
-		name  string
-		alg   core.Algorithm
-		paths int
-	}{
+	cases := []dcAlgCase{
 		{"Single Path", core.Regular{}, 1},
 		{"EWTCP", core.EWTCP{}, 8},
 		{"MPTCP", &core.MPTCP{}, 8},
 	}
-	for _, tc := range cases {
-		w := newWorld(cfg.Seed)
+	type distOut struct {
+		thr       Curve
+		loss      []Curve
+		jain, p10 float64
+	}
+	cells := RunCells(cfg, len(cases), func(cell Config, idx int) distOut {
+		tc := cases[idx]
+		w := newWorld(cell.Seed)
+		// Base-seed workload: rank curves compare algorithms on the
+		// same permutation.
 		rng := rand.New(rand.NewSource(cfg.Seed + 13))
 		ft := topo.NewFatTree(topo.FatTreeConfig{K: k})
 		d := traffic.Permutation(rng, ft.NumHosts())
@@ -249,26 +267,23 @@ func runFig13(cfg Config) *Result {
 			}
 			return ft.Paths(rng, s, dd, tc.paths)
 		}
-		conns := startFlows(w, rng, src, dst, tc.alg, pf)
+		conns := startFlows(w, rng, src, dst, freshAlg(tc.alg), pf)
 		rates := w.measure(conns, warm, end)
 
-		ranked := metrics.Rank(rates)
-		c := Curve{Name: tc.name}
-		for i, v := range ranked {
-			c.Pts = append(c.Pts, Point{X: float64(i + 1), Y: v})
+		out := distOut{
+			thr:  Curve{Name: tc.name},
+			jain: model.JainIndex(rates),
+			p10:  metrics.Percentile(rates, 10),
 		}
-		figT.Curves = append(figT.Curves, c)
-		// Metric keys must be whitespace-free (testing.B.ReportMetric).
-		key := strings.ReplaceAll(tc.name, " ", "")
-		res.Metrics[key+"_jain"] = model.JainIndex(rates)
-		res.Metrics[key+"_p10_mbps"] = metrics.Percentile(rates, 10)
-
+		for i, v := range metrics.Rank(rates) {
+			out.thr.Pts = append(out.thr.Pts, Point{X: float64(i + 1), Y: v})
+		}
 		lossRank := func(links []*netsim.Link) []float64 {
-			var out []float64
+			var vals []float64
 			for _, l := range links {
-				out = append(out, l.Stats.LossFraction()*100)
+				vals = append(vals, l.Stats.LossFraction()*100)
 			}
-			return metrics.Rank(out)
+			return metrics.Rank(vals)
 		}
 		for _, grp := range []struct {
 			label string
@@ -281,8 +296,17 @@ func runFig13(cfg Config) *Result {
 				}
 				lc.Pts = append(lc.Pts, Point{X: float64(i + 1), Y: v})
 			}
-			figL.Curves = append(figL.Curves, lc)
+			out.loss = append(out.loss, lc)
 		}
+		return out
+	})
+	for i, tc := range cases {
+		figT.Curves = append(figT.Curves, cells[i].thr)
+		figL.Curves = append(figL.Curves, cells[i].loss...)
+		// Metric keys must be whitespace-free (testing.B.ReportMetric).
+		key := strings.ReplaceAll(tc.name, " ", "")
+		res.Metrics[key+"_jain"] = cells[i].jain
+		res.Metrics[key+"_p10_mbps"] = cells[i].p10
 	}
 	// Keep rank curves readable: subsample to at most 32 points each.
 	for _, f := range []*Figure{&figT, &figL} {
@@ -317,46 +341,48 @@ func runTableBCube(cfg Config) *Result {
 		Title: "BCube per-host throughput (Mb/s); paper: single 64.5/297/78, EWTCP 84/229/139, MPTCP 86.5/272/135",
 		Cols:  []string{"algorithm", "TP1", "TP2", "TP3"},
 	}
-	cases := []struct {
-		name  string
-		alg   core.Algorithm
-		paths int
-	}{
+	cases := []dcAlgCase{
 		{"SINGLE-PATH", core.Regular{}, 1},
 		{"EWTCP", core.EWTCP{}, 3},
 		{"MPTCP", &core.MPTCP{}, 3},
 	}
-	for _, tc := range cases {
-		row := []string{tc.name}
-		for _, tpName := range []string{"TP1", "TP2", "TP3"} {
-			w := newWorld(cfg.Seed)
-			rng := rand.New(rand.NewSource(cfg.Seed + 17))
-			bc := topo.NewBCube(topo.BCubeConfig{N: bn, K: bk})
-			n := bc.NumHosts()
-			// TP2 on BCube: every host replicates to its one-hop
-			// neighbours at all levels (the paper's "replicas onto
-			// hosts physically close in the network").
-			tp2 := func() (src, dst []int) {
-				for h := 0; h < n; h++ {
-					for l := 0; l < bc.Levels(); l++ {
-						for _, nb := range bc.Neighbors(h, l) {
-							src = append(src, h)
-							dst = append(dst, nb)
-						}
+	vals := RunCells(cfg, len(cases)*len(dcTPNames), func(cell Config, idx int) float64 {
+		tc := cases[idx/len(dcTPNames)]
+		tpName := dcTPNames[idx%len(dcTPNames)]
+		w := newWorld(cell.Seed)
+		// Base-seed workload, as in runTableFatTree.
+		rng := rand.New(rand.NewSource(cfg.Seed + 17))
+		bc := topo.NewBCube(topo.BCubeConfig{N: bn, K: bk})
+		n := bc.NumHosts()
+		// TP2 on BCube: every host replicates to its one-hop
+		// neighbours at all levels (the paper's "replicas onto
+		// hosts physically close in the network").
+		tp2 := func() (src, dst []int) {
+			for h := 0; h < n; h++ {
+				for l := 0; l < bc.Levels(); l++ {
+					for _, nb := range bc.Neighbors(h, l) {
+						src = append(src, h)
+						dst = append(dst, nb)
 					}
 				}
-				return src, dst
 			}
-			src, dst := dcPatterns(rng, n, tp2)[tpName]()
-			pf := func(rng *rand.Rand, s, d int) []transport.Path {
-				if tc.paths == 1 {
-					return []transport.Path{bc.ECMPPath(rng, s, d)}
-				}
-				return bc.Paths(rng, s, d, tc.paths)
+			return src, dst
+		}
+		src, dst := dcPatterns(rng, n, tp2)[tpName]()
+		pf := func(rng *rand.Rand, s, d int) []transport.Path {
+			if tc.paths == 1 {
+				return []transport.Path{bc.ECMPPath(rng, s, d)}
 			}
-			conns := startFlows(w, rng, src, dst, tc.alg, pf)
-			rates := w.measure(conns, warm, end)
-			v := perHost(src, rates)
+			return bc.Paths(rng, s, d, tc.paths)
+		}
+		conns := startFlows(w, rng, src, dst, freshAlg(tc.alg), pf)
+		rates := w.measure(conns, warm, end)
+		return perHost(src, rates)
+	})
+	for ci, tc := range cases {
+		row := []string{tc.name}
+		for ti, tpName := range dcTPNames {
+			v := vals[ci*len(dcTPNames)+ti]
 			row = append(row, f1(v))
 			res.Metrics[tc.name+"_"+tpName+"_mbps"] = v
 		}

@@ -65,30 +65,39 @@ func runWirelessStatic(cfg Config) *Result {
 	res := newResult("table-wireless-static")
 	warm, end := cfg.dur(10*sim.Second), cfg.dur(110*sim.Second)
 
+	flows := []struct {
+		name   string
+		metric string
+		alg    func() core.Algorithm
+		paths  func(*topo.Wireless) []transport.Path
+	}{
+		{"TCP-WiFi", "tcp_wifi_mbps", func() core.Algorithm { return core.Regular{} },
+			func(wl *topo.Wireless) []transport.Path { return wl.Paths()[:1] }},
+		{"TCP-3G", "tcp_3g_mbps", func() core.Algorithm { return core.Regular{} },
+			func(wl *topo.Wireless) []transport.Path { return wl.Paths()[1:] }},
+		{"MPTCP", "mptcp_mbps", func() core.Algorithm { return &core.MPTCP{} },
+			func(wl *topo.Wireless) []transport.Path { return wl.Paths() }},
+	}
 	table := Table{
 		Title: "Idle-path throughput (Mb/s); paper: TCP-WiFi 14.4, TCP-3G 2.1, MPTCP 17.3 (the sum)",
 		Cols:  []string{"flow", "Mb/s"},
 	}
-	run := func(name string, paths func(*topo.Wireless) []transport.Path, alg core.Algorithm) float64 {
-		w := newWorld(cfg.Seed)
+	cells := RunCells(cfg, len(flows), func(cell Config, i int) CellResult {
+		fl := flows[i]
+		w := newWorld(cell.Seed)
 		wl := goodWireless()
-		c := transport.NewConn(w.n, transport.Config{Alg: alg, Paths: paths(wl)})
+		c := transport.NewConn(w.n, transport.Config{Alg: fl.alg(), Paths: fl.paths(wl)})
 		c.Start()
 		r := w.measure([]*transport.Conn{c}, warm, end)[0]
-		table.Rows = append(table.Rows, []string{name, f2(r)})
-		return r
-	}
-	wifiOnly := func(wl *topo.Wireless) []transport.Path { return wl.Paths()[:1] }
-	g3Only := func(wl *topo.Wireless) []transport.Path { return wl.Paths()[1:] }
-	both := func(wl *topo.Wireless) []transport.Path { return wl.Paths() }
-	tw := run("TCP-WiFi", wifiOnly, core.Regular{})
-	tg := run("TCP-3G", g3Only, core.Regular{})
-	tm := run("MPTCP", both, &core.MPTCP{})
+		return CellResult{
+			Row:     []string{fl.name, f2(r)},
+			Metrics: map[string]float64{fl.metric: r},
+		}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
-	res.Metrics["tcp_wifi_mbps"] = tw
-	res.Metrics["tcp_3g_mbps"] = tg
-	res.Metrics["mptcp_mbps"] = tm
-	res.Metrics["sum_ratio"] = tm / (tw + tg)
+	m := res.Metrics
+	m["sum_ratio"] = m["mptcp_mbps"] / (m["tcp_wifi_mbps"] + m["tcp_3g_mbps"])
 	res.note("§2.5: with no competing traffic both access links are fully utilised, so MPTCP's fairness goals permit the full sum")
 	return res
 }
@@ -102,8 +111,9 @@ func runFig15(cfg Config) *Result {
 		Title: "Competing flows (Mb/s); paper: EWTCP 1.66/3.11/1.20, COUPLED 1.41/3.49/0.97, MPTCP 2.21/2.56/0.65 (multipath/TCP-WiFi/TCP-3G)",
 		Cols:  []string{"algorithm", "multipath", "TCP-WiFi", "TCP-3G", "mp WiFi-share"},
 	}
-	for _, alg := range algSet() {
-		w := newWorld(cfg.Seed)
+	cells := RunCells(cfg, len(algSet()), func(cell Config, i int) CellResult {
+		alg := algSet()[i]
+		w := newWorld(cell.Seed)
 		wl := busyWireless()
 		mp := transport.NewConn(w.n, transport.Config{Alg: freshAlg(alg), Paths: wl.Paths()})
 		tcpW := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[:1]})
@@ -116,13 +126,16 @@ func runFig15(cfg Config) *Result {
 		if d := mp.SubflowDelivered(0) + mp.SubflowDelivered(1); d > 0 {
 			wifiShare = float64(mp.SubflowDelivered(0)) / float64(d)
 		}
-		table.Rows = append(table.Rows, []string{
-			alg.Name(), f2(rates[0]), f2(rates[1]), f2(rates[2]), f2(wifiShare),
-		})
-		res.Metrics[metricName(alg, "mp_mbps")] = rates[0]
-		res.Metrics[metricName(alg, "tcpwifi_mbps")] = rates[1]
-		res.Metrics[metricName(alg, "tcp3g_mbps")] = rates[2]
-	}
+		return CellResult{
+			Row: []string{alg.Name(), f2(rates[0]), f2(rates[1]), f2(rates[2]), f2(wifiShare)},
+			Metrics: map[string]float64{
+				metricName(alg, "mp_mbps"):      rates[0],
+				metricName(alg, "tcpwifi_mbps"): rates[1],
+				metricName(alg, "tcp3g_mbps"):   rates[2],
+			},
+		}
+	})
+	Collect(res, &table, cells)
 	res.Tables = append(res.Tables, table)
 	res.note("only MPTCP approaches the competing WiFi TCP's throughput; COUPLED hides on the 3G path, EWTCP splits half-and-half")
 	return res
@@ -130,42 +143,45 @@ func runFig15(cfg Config) *Result {
 
 func runSec5Wired(cfg Config) *Result {
 	cfg = cfg.norm()
-	res := newResult("sec5-wired-sim")
 	warm, end := cfg.dur(100*sim.Second), cfg.dur(500*sim.Second)
 
-	w := newWorld(cfg.Seed)
-	l1 := topo.NewDuplexPkt("link1", 250, 250*sim.Millisecond, topo.BDPPacketsPkt(250, 500*sim.Millisecond))
-	l2 := topo.NewDuplexPkt("link2", 500, 25*sim.Millisecond, topo.BDPPacketsPkt(500, 50*sim.Millisecond))
-	s1 := transport.NewConn(w.n, transport.Config{Paths: []transport.Path{topo.PathThrough(l1)}})
-	s2 := transport.NewConn(w.n, transport.Config{Paths: []transport.Path{topo.PathThrough(l2)}})
-	m := transport.NewConn(w.n, transport.Config{
-		Alg:   &core.MPTCP{},
-		Paths: []transport.Path{topo.PathThrough(l1), topo.PathThrough(l2)},
-	})
-	s1.Start()
-	s2.Start()
-	m.Start()
-	rates := w.measure([]*transport.Conn{s1, s2, m}, warm, end)
-	toPkt := 1e6 / (8.0 * 1500)
-	p1 := l1.AB.Stats.LossFraction()
-	p2 := l2.AB.Stats.LossFraction()
+	// S1, S2 and M compete in one shared world: a single cell.
+	return RunCells(cfg, 1, func(cell Config, _ int) *Result {
+		res := newResult("sec5-wired-sim")
+		w := newWorld(cell.Seed)
+		l1 := topo.NewDuplexPkt("link1", 250, 250*sim.Millisecond, topo.BDPPacketsPkt(250, 500*sim.Millisecond))
+		l2 := topo.NewDuplexPkt("link2", 500, 25*sim.Millisecond, topo.BDPPacketsPkt(500, 50*sim.Millisecond))
+		s1 := transport.NewConn(w.n, transport.Config{Paths: []transport.Path{topo.PathThrough(l1)}})
+		s2 := transport.NewConn(w.n, transport.Config{Paths: []transport.Path{topo.PathThrough(l2)}})
+		m := transport.NewConn(w.n, transport.Config{
+			Alg:   &core.MPTCP{},
+			Paths: []transport.Path{topo.PathThrough(l1), topo.PathThrough(l2)},
+		})
+		s1.Start()
+		s2.Start()
+		m.Start()
+		rates := w.measure([]*transport.Conn{s1, s2, m}, warm, end)
+		toPkt := 1e6 / (8.0 * 1500)
+		p1 := l1.AB.Stats.LossFraction()
+		p2 := l2.AB.Stats.LossFraction()
 
-	res.Tables = append(res.Tables, Table{
-		Title: "Throughput (pkt/s) and loss; paper: S1 130, S2 315, M 305, p1 0.22%, p2 0.28%",
-		Cols:  []string{"flow", "pkt/s"},
-		Rows: [][]string{
-			{"S1 (link1 only)", f0(rates[0] * toPkt)},
-			{"S2 (link2 only)", f0(rates[1] * toPkt)},
-			{"M (both links)", f0(rates[2] * toPkt)},
-			{"p1 (%)", f2(p1 * 100)},
-			{"p2 (%)", f2(p2 * 100)},
-		},
-	})
-	res.Metrics["s1_pktps"] = rates[0] * toPkt
-	res.Metrics["s2_pktps"] = rates[1] * toPkt
-	res.Metrics["m_pktps"] = rates[2] * toPkt
-	res.note("M aims for what a single-path TCP would get at path 2's loss rate (~S2), not for C2/2 = 250 pkt/s — §5's subtle fairness point")
-	return res
+		res.Tables = append(res.Tables, Table{
+			Title: "Throughput (pkt/s) and loss; paper: S1 130, S2 315, M 305, p1 0.22%, p2 0.28%",
+			Cols:  []string{"flow", "pkt/s"},
+			Rows: [][]string{
+				{"S1 (link1 only)", f0(rates[0] * toPkt)},
+				{"S2 (link2 only)", f0(rates[1] * toPkt)},
+				{"M (both links)", f0(rates[2] * toPkt)},
+				{"p1 (%)", f2(p1 * 100)},
+				{"p2 (%)", f2(p2 * 100)},
+			},
+		})
+		res.Metrics["s1_pktps"] = rates[0] * toPkt
+		res.Metrics["s2_pktps"] = rates[1] * toPkt
+		res.Metrics["m_pktps"] = rates[2] * toPkt
+		res.note("M aims for what a single-path TCP would get at path 2's loss rate (~S2), not for C2/2 = 250 pkt/s — §5's subtle fairness point")
+		return res
+	})[0]
 }
 
 func runFig16(cfg Config) *Result {
@@ -180,32 +196,38 @@ func runFig16(cfg Config) *Result {
 		XLabel: "RTT2 (ms)",
 		YLabel: "ratio",
 	}
+	// One cell per (C2, RTT2) pair.
+	ratios := RunCells(cfg, len(caps)*len(rtts), func(cell Config, idx int) float64 {
+		c2 := caps[idx/len(rtts)]
+		rtt2 := rtts[idx%len(rtts)]
+		w := newWorld(cell.Seed)
+		l1 := topo.NewDuplexPkt("l1", 400, 50*sim.Millisecond, topo.BDPPacketsPkt(400, 100*sim.Millisecond))
+		d2 := sim.Time(rtt2/2) * sim.Millisecond
+		l2 := topo.NewDuplexPkt("l2", c2, d2, topo.BDPPacketsPkt(c2, sim.Time(rtt2)*sim.Millisecond))
+		s1 := transport.NewConn(w.n, transport.Config{Paths: []transport.Path{topo.PathThrough(l1)}})
+		s2 := transport.NewConn(w.n, transport.Config{Paths: []transport.Path{topo.PathThrough(l2)}})
+		m := transport.NewConn(w.n, transport.Config{
+			Alg:   &core.MPTCP{},
+			Paths: []transport.Path{topo.PathThrough(l1), topo.PathThrough(l2)},
+		})
+		s1.Start()
+		s2.Start()
+		m.Start()
+		rates := w.measure([]*transport.Conn{s1, s2, m}, warm, end)
+		denom := rates[0]
+		if rates[1] > denom {
+			denom = rates[1]
+		}
+		if denom <= 0 {
+			return 0
+		}
+		return rates[2] / denom
+	})
 	worst, best, sum, count := 2.0, 0.0, 0.0, 0.0
-	for _, c2 := range caps {
+	for ci, c2 := range caps {
 		curve := Curve{Name: "C2=" + f0(c2)}
-		for _, rtt2 := range rtts {
-			w := newWorld(cfg.Seed)
-			l1 := topo.NewDuplexPkt("l1", 400, 50*sim.Millisecond, topo.BDPPacketsPkt(400, 100*sim.Millisecond))
-			d2 := sim.Time(rtt2/2) * sim.Millisecond
-			l2 := topo.NewDuplexPkt("l2", c2, d2, topo.BDPPacketsPkt(c2, sim.Time(rtt2)*sim.Millisecond))
-			s1 := transport.NewConn(w.n, transport.Config{Paths: []transport.Path{topo.PathThrough(l1)}})
-			s2 := transport.NewConn(w.n, transport.Config{Paths: []transport.Path{topo.PathThrough(l2)}})
-			m := transport.NewConn(w.n, transport.Config{
-				Alg:   &core.MPTCP{},
-				Paths: []transport.Path{topo.PathThrough(l1), topo.PathThrough(l2)},
-			})
-			s1.Start()
-			s2.Start()
-			m.Start()
-			rates := w.measure([]*transport.Conn{s1, s2, m}, warm, end)
-			denom := rates[0]
-			if rates[1] > denom {
-				denom = rates[1]
-			}
-			ratio := 0.0
-			if denom > 0 {
-				ratio = rates[2] / denom
-			}
+		for ri, rtt2 := range rtts {
+			ratio := ratios[ci*len(rtts)+ri]
 			curve.Pts = append(curve.Pts, Point{X: rtt2, Y: ratio})
 			if ratio < worst {
 				worst = ratio
@@ -228,94 +250,97 @@ func runFig16(cfg Config) *Result {
 
 func runFig17(cfg Config) *Result {
 	cfg = cfg.norm()
-	res := newResult("fig17-mobility")
 	// Timeline (scaled): phase 1 walk around the office, phase 2 the
 	// stairwell (no WiFi, good 3G), phase 3 near a fresh basestation.
 	p1 := cfg.dur(240 * sim.Second)
 	p2 := cfg.dur(60 * sim.Second)
 	p3 := cfg.dur(120 * sim.Second)
 
-	w := newWorld(cfg.Seed)
-	wl := topo.NewWireless(topo.WirelessConfig{
-		WiFiMbps: 10, WiFiDelay: 8 * sim.Millisecond, WiFiLoss: 0.01, WiFiBuf: 25,
-		G3Mbps: 2.0, G3Delay: 50 * sim.Millisecond, G3Loss: 0.0005, G3Buf: 300,
-	})
-	tcpW := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[:1]})
-	tcpG := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[1:]})
-	mp := transport.NewConn(w.n, transport.Config{Alg: &core.MPTCP{}, Paths: wl.Paths()})
-	tcpW.Start()
-	tcpG.Start()
-	w.s.After(cfg.dur(10*sim.Second), mp.Start)
+	// One continuous walk with shared link state: a single cell.
+	return RunCells(cfg, 1, func(cell Config, _ int) *Result {
+		res := newResult("fig17-mobility")
+		w := newWorld(cell.Seed)
+		wl := topo.NewWireless(topo.WirelessConfig{
+			WiFiMbps: 10, WiFiDelay: 8 * sim.Millisecond, WiFiLoss: 0.01, WiFiBuf: 25,
+			G3Mbps: 2.0, G3Delay: 50 * sim.Millisecond, G3Loss: 0.0005, G3Buf: 300,
+		})
+		tcpW := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[:1]})
+		tcpG := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[1:]})
+		mp := transport.NewConn(w.n, transport.Config{Alg: &core.MPTCP{}, Paths: wl.Paths()})
+		tcpW.Start()
+		tcpG.Start()
+		w.s.After(cell.dur(10*sim.Second), mp.Start)
 
-	// The walk: entering the stairwell kills WiFi and improves 3G;
-	// afterwards a new basestation appears with better radio.
-	w.s.At(p1, func() {
-		wl.WiFi.SetDown(true)
-		wl.G3.AB.SetRate(2.8)
-	})
-	w.s.At(p1+p2, func() {
-		wl.WiFi.SetDown(false)
-		wl.WiFi.AB.SetRate(12)
-		wl.WiFi.SetLossRate(0.004)
-		wl.G3.AB.SetRate(2.0)
-	})
+		// The walk: entering the stairwell kills WiFi and improves 3G;
+		// afterwards a new basestation appears with better radio.
+		w.s.At(p1, func() {
+			wl.WiFi.SetDown(true)
+			wl.G3.AB.SetRate(2.8)
+		})
+		w.s.At(p1+p2, func() {
+			wl.WiFi.SetDown(false)
+			wl.WiFi.AB.SetRate(12)
+			wl.WiFi.SetLossRate(0.004)
+			wl.G3.AB.SetRate(2.0)
+		})
 
-	sampler := metrics.NewSampler(w.s, cfg.dur(5*sim.Second))
-	sampler.Probe("mp-wifi", func() float64 { return float64(mp.SubflowDelivered(0)) })
-	sampler.Probe("mp-3g", func() float64 { return float64(mp.SubflowDelivered(1)) })
-	sampler.Probe("tcp-wifi", func() float64 { return float64(tcpW.Delivered()) })
-	sampler.Probe("tcp-3g", func() float64 { return float64(tcpG.Delivered()) })
-	sampler.Start()
-	end := p1 + p2 + p3
-	w.s.RunUntil(end)
+		sampler := metrics.NewSampler(w.s, cell.dur(5*sim.Second))
+		sampler.Probe("mp-wifi", func() float64 { return float64(mp.SubflowDelivered(0)) })
+		sampler.Probe("mp-3g", func() float64 { return float64(mp.SubflowDelivered(1)) })
+		sampler.Probe("tcp-wifi", func() float64 { return float64(tcpW.Delivered()) })
+		sampler.Probe("tcp-3g", func() float64 { return float64(tcpG.Delivered()) })
+		sampler.Start()
+		end := p1 + p2 + p3
+		w.s.RunUntil(end)
 
-	fig := Figure{
-		Title:  "Fig. 17: 5s-binned throughput while walking (WiFi outage in the middle phase)",
-		XLabel: "time (s)",
-		YLabel: "Mb/s",
-	}
-	phaseMean := func(s *metrics.Series, from, to sim.Time) float64 {
-		r := s.Rate()
-		var tot float64
-		var n int
-		for i := 0; i < r.Len(); i++ {
-			if r.Times[i] > from && r.Times[i] <= to {
-				tot += r.Vals[i] * 1500 * 8 / 1e6
-				n++
+		fig := Figure{
+			Title:  "Fig. 17: 5s-binned throughput while walking (WiFi outage in the middle phase)",
+			XLabel: "time (s)",
+			YLabel: "Mb/s",
+		}
+		phaseMean := func(s *metrics.Series, from, to sim.Time) float64 {
+			r := s.Rate()
+			var tot float64
+			var n int
+			for i := 0; i < r.Len(); i++ {
+				if r.Times[i] > from && r.Times[i] <= to {
+					tot += r.Vals[i] * 1500 * 8 / 1e6
+					n++
+				}
 			}
+			if n == 0 {
+				return 0
+			}
+			return tot / float64(n)
 		}
-		if n == 0 {
-			return 0
+		for _, name := range sampler.Names() {
+			r := sampler.Series(name).Rate()
+			c := Curve{Name: name}
+			for i := 0; i < r.Len(); i++ {
+				c.Pts = append(c.Pts, Point{X: r.Times[i].Seconds(), Y: r.Vals[i] * 1500 * 8 / 1e6})
+			}
+			fig.Curves = append(fig.Curves, c)
 		}
-		return tot / float64(n)
-	}
-	for _, name := range sampler.Names() {
-		r := sampler.Series(name).Rate()
-		c := Curve{Name: name}
-		for i := 0; i < r.Len(); i++ {
-			c.Pts = append(c.Pts, Point{X: r.Times[i].Seconds(), Y: r.Vals[i] * 1500 * 8 / 1e6})
-		}
-		fig.Curves = append(fig.Curves, c)
-	}
-	res.Figures = append(res.Figures, fig)
+		res.Figures = append(res.Figures, fig)
 
-	wifiSeries := sampler.Series("mp-wifi")
-	g3Series := sampler.Series("mp-3g")
-	mpPhase1 := phaseMean(wifiSeries, 0, p1) + phaseMean(g3Series, 0, p1)
-	mpPhase2 := phaseMean(wifiSeries, p1, p1+p2) + phaseMean(g3Series, p1, p1+p2)
-	mpPhase3 := phaseMean(wifiSeries, p1+p2, end) + phaseMean(g3Series, p1+p2, end)
-	res.Tables = append(res.Tables, Table{
-		Title: "Multipath throughput by phase (Mb/s)",
-		Cols:  []string{"phase", "multipath Mb/s", "of which 3G"},
-		Rows: [][]string{
-			{"office (WiFi+3G)", f2(mpPhase1), f2(phaseMean(g3Series, 0, p1))},
-			{"stairwell (3G only)", f2(mpPhase2), f2(phaseMean(g3Series, p1, p1+p2))},
-			{"new basestation", f2(mpPhase3), f2(phaseMean(g3Series, p1+p2, end))},
-		},
-	})
-	res.Metrics["phase1_mbps"] = mpPhase1
-	res.Metrics["phase2_mbps"] = mpPhase2
-	res.Metrics["phase3_mbps"] = mpPhase3
-	res.note("the connection survives the WiFi outage on 3G alone and immediately exploits the new basestation — the robustness story of §5")
-	return res
+		wifiSeries := sampler.Series("mp-wifi")
+		g3Series := sampler.Series("mp-3g")
+		mpPhase1 := phaseMean(wifiSeries, 0, p1) + phaseMean(g3Series, 0, p1)
+		mpPhase2 := phaseMean(wifiSeries, p1, p1+p2) + phaseMean(g3Series, p1, p1+p2)
+		mpPhase3 := phaseMean(wifiSeries, p1+p2, end) + phaseMean(g3Series, p1+p2, end)
+		res.Tables = append(res.Tables, Table{
+			Title: "Multipath throughput by phase (Mb/s)",
+			Cols:  []string{"phase", "multipath Mb/s", "of which 3G"},
+			Rows: [][]string{
+				{"office (WiFi+3G)", f2(mpPhase1), f2(phaseMean(g3Series, 0, p1))},
+				{"stairwell (3G only)", f2(mpPhase2), f2(phaseMean(g3Series, p1, p1+p2))},
+				{"new basestation", f2(mpPhase3), f2(phaseMean(g3Series, p1+p2, end))},
+			},
+		})
+		res.Metrics["phase1_mbps"] = mpPhase1
+		res.Metrics["phase2_mbps"] = mpPhase2
+		res.Metrics["phase3_mbps"] = mpPhase3
+		res.note("the connection survives the WiFi outage on 3G alone and immediately exploits the new basestation — the robustness story of §5")
+		return res
+	})[0]
 }

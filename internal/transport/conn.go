@@ -28,6 +28,7 @@ package transport
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"mptcp/internal/core"
 	"mptcp/internal/netsim"
@@ -117,7 +118,11 @@ type Conn struct {
 
 const persistInterval = 200 * sim.Millisecond
 
-var nextConnID int
+// nextConnID is atomic because independent simulator worlds construct
+// connections concurrently (internal/exp's parallel runner). The ID is
+// purely diagnostic (packet FlowID labels, String()), so the allocation
+// order never influences simulation results.
+var nextConnID atomic.Int64
 
 // NewConn builds a connection and its receiver, and wires the routes.
 func NewConn(nw *netsim.Net, cfg Config) *Conn {
@@ -149,9 +154,8 @@ func NewConn(nw *netsim.Net, cfg Config) *Conn {
 	case cfg.SendJitter < 0:
 		cfg.SendJitter = 0
 	}
-	nextConnID++
 	c := &Conn{
-		ID:       nextConnID,
+		ID:       int(nextConnID.Add(1)),
 		net:      nw,
 		cfg:      cfg,
 		alg:      cfg.Alg,
