@@ -162,3 +162,11 @@ func BenchmarkAblationCap(b *testing.B) {
 func BenchmarkAblationPerAck(b *testing.B) {
 	benchExperiment(b, "ablation-peracck", "peracck_pktps", "cached_pktps")
 }
+
+// --- cc registry tournament ---
+
+func BenchmarkTournament(b *testing.B) {
+	benchExperiment(b, "tournament",
+		"mptcp_torus_mbps", "olia_torus_mbps", "balia_torus_mbps", "wvegas_torus_mbps",
+		"mptcp_wifi3g_mbps", "olia_wifi3g_mbps")
+}

@@ -37,6 +37,19 @@ type trialRecord struct {
 	Notes   []string           `json:"notes,omitempty"`
 }
 
+// cellRecord is the JSONL shape for grid experiments (the tournament):
+// one line per (algorithm × topology) cell of a trial, replacing that
+// trial's aggregate line.
+type cellRecord struct {
+	ID        string             `json:"id"`
+	Trial     int                `json:"trial"`
+	Seed      int64              `json:"seed"`
+	Scale     float64            `json:"scale"`
+	Algorithm string             `json:"algorithm"`
+	Topology  string             `json:"topology"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments")
 	id := flag.String("run", "", "experiment ID to run (or 'all')")
@@ -78,6 +91,26 @@ func main() {
 			return
 		}
 		if *jsonOut {
+			// Grid experiments carry per-cell records: emit one line per
+			// (algorithm × topology) cell instead of one aggregate line.
+			if recs := tr.Result.Records; len(recs) > 0 {
+				for _, r := range recs {
+					cr := cellRecord{
+						ID:        tr.ID,
+						Trial:     tr.Trial,
+						Seed:      tr.Seed,
+						Scale:     tr.Scale,
+						Algorithm: r.Algorithm,
+						Topology:  r.Topology,
+						Metrics:   r.Metrics,
+					}
+					if err := enc.Encode(cr); err != nil {
+						encErr = fmt.Errorf("encoding %s: %v", tr.ID, err)
+						return
+					}
+				}
+				return
+			}
 			rec := trialRecord{
 				ID:      tr.ID,
 				Ref:     tr.Ref,

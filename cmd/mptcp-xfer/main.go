@@ -23,7 +23,7 @@ import (
 	"strings"
 	"time"
 
-	"mptcp/internal/core"
+	"mptcp/internal/cc"
 	"mptcp/internal/mptcpnet"
 )
 
@@ -33,7 +33,10 @@ func main() {
 	out := flag.String("out", "", "output file (receiver; default stdout)")
 	send := flag.String("send", "", "file to send (sender)")
 	to := flag.String("to", "", "comma-separated remote addrs, one per subflow (sender)")
-	algName := flag.String("alg", "MPTCP", "congestion control: REGULAR, EWTCP, COUPLED, SEMICOUPLED, MPTCP")
+	// The accepted names (and the list below) come from the algorithm
+	// registry, so a newly registered algorithm shows up here for free.
+	algName := flag.String("alg", "MPTCP",
+		"congestion control (case-insensitive): "+strings.Join(cc.Names(), ", ")+"\n"+cc.Help())
 	connID := flag.Uint64("conn", 1, "connection ID (must match on both ends)")
 	flag.Parse()
 
@@ -83,7 +86,7 @@ func runReceiver(paths int, out string, connID uint64) {
 }
 
 func runSender(file, to, algName string, connID uint64) {
-	alg, err := core.New(strings.ToUpper(algName))
+	alg, err := cc.New(algName) // registry lookup is case-insensitive
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,15 +10,22 @@
 //
 //   - internal/core — the coupled congestion-control algorithms (the
 //     paper's contribution: REGULAR, EWTCP, COUPLED, SEMICOUPLED, MPTCP);
+//   - internal/cc — the pluggable algorithm registry (named
+//     constructors, case-insensitive lookup, per-algorithm metadata),
+//     the hook-extended contract (OnRTTSample, OnLoss), and the
+//     Linux-kernel successor family: OLIA, BALIA and the delay-based
+//     wVegas;
 //   - internal/sim, internal/netsim, internal/transport — the
 //     deterministic packet-level simulator and TCP/MPTCP endpoint models;
 //   - internal/topo, internal/traffic, internal/metrics, internal/model —
 //     the evaluation scenarios, workloads and analysis tools;
-//   - internal/exp — one registered experiment per table/figure;
+//   - internal/exp — one registered experiment per table/figure, plus
+//     the cross-topology algorithm tournament;
 //   - internal/mptcpnet — a userspace MPTCP-over-UDP stack (§6's
 //     protocol design over real sockets).
 //
 // Run `go run ./cmd/mptcp-exp -list` for the reproduction index; the
-// parallel experiment runner and its deterministic seeding scheme are
-// documented in DESIGN.md §3.
+// algorithm registry is documented in DESIGN.md §2 and the parallel
+// experiment runner with its deterministic seeding scheme in DESIGN.md
+// §4.
 package mptcp

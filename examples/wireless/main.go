@@ -1,7 +1,8 @@
 // Wireless: the §5 scenario — a laptop with WiFi and 3G, with a
-// competing TCP on each radio, comparing EWTCP, COUPLED and the paper's
-// MPTCP. Only MPTCP achieves roughly the competing WiFi TCP's throughput
-// while still using the 3G path gently.
+// competing TCP on each radio, comparing EWTCP, COUPLED, the paper's
+// MPTCP and the Linux-kernel successors (OLIA, BALIA, delay-based
+// WVEGAS). Only MPTCP and its successors achieve roughly the competing
+// WiFi TCP's throughput while still using the 3G path gently.
 //
 //	go run ./examples/wireless
 package main
@@ -9,7 +10,7 @@ package main
 import (
 	"fmt"
 
-	"mptcp/internal/core"
+	"mptcp/internal/cc"
 	"mptcp/internal/metrics"
 	"mptcp/internal/netsim"
 	"mptcp/internal/sim"
@@ -21,8 +22,8 @@ func main() {
 	fmt.Println("WiFi (fast, lossy, short RTT) + 3G (slow, clean, overbuffered),")
 	fmt.Println("one competing single-path TCP per radio, 5 simulated minutes:")
 	fmt.Println()
-	for _, name := range []string{"EWTCP", "COUPLED", "MPTCP"} {
-		alg, err := core.New(name)
+	for _, name := range []string{"EWTCP", "COUPLED", "MPTCP", "OLIA", "BALIA", "WVEGAS"} {
+		alg, err := cc.New(name)
 		if err != nil {
 			panic(err)
 		}

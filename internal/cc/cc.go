@@ -1,0 +1,202 @@
+// Package cc is the pluggable congestion-control subsystem: a registry
+// of named algorithm constructors with per-algorithm metadata, plus the
+// extended algorithm contract (optional hooks) that post-paper
+// algorithms need.
+//
+// internal/core keeps the paper's pure window arithmetic and defines the
+// base core.Algorithm contract (Increase/Decrease); this package owns
+//
+//   - construction by name: algorithms self-register a constructor and
+//     an Info record in their file's init, and New resolves names (and
+//     aliases) case-insensitively. Callers — the CLI tools, the
+//     experiment registry, tests — never hard-code the algorithm list;
+//     they derive it from Names/Infos.
+//   - the optional hooks RTTObserver and LossObserver, which both
+//     endpoint stacks (internal/transport and internal/mptcpnet) probe
+//     for once at connection setup and invoke on the corresponding
+//     protocol events. Loss-based AIMD algorithms ignore them;
+//     delay-based ones (wVegas) and algorithms with per-loss-event state
+//     (OLIA) need them.
+//
+// Besides the paper's five algorithms (registered from internal/core),
+// the package implements the Linux-kernel successor family surveyed by
+// Kimura & Loureiro, "MPTCP Linux Kernel Congestion Controls": OLIA
+// (olia.go), BALIA (balia.go) and the delay-based wVegas (wvegas.go).
+//
+// Algorithm instances returned by New are fresh per call and, like
+// core's, are owned by exactly one connection: stateful algorithms
+// (MPTCP's cache, OLIA's inter-loss counters, wVegas's per-path epochs)
+// must never be shared across connections or goroutines.
+package cc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mptcp/internal/core"
+)
+
+// RTTObserver is an optional extension of core.Algorithm: OnRTTSample is
+// invoked for every new RTT measurement taken on subflow r, before any
+// congestion-avoidance Increase calls for the ACK that carried the
+// sample. subs is the connection's live congestion state (read-only for
+// the observer) and rtt is the raw, unsmoothed sample in seconds.
+// Delay-based algorithms use the stream of samples to estimate
+// propagation delay (their minimum) and queuing delay (the excess).
+type RTTObserver interface {
+	OnRTTSample(subs []core.Subflow, r int, rtt float64)
+}
+
+// LossObserver is an optional extension of core.Algorithm: OnLoss is
+// invoked once per loss event on subflow r — fast-retransmit entry or a
+// retransmission timeout — immediately before the algorithm's Decrease
+// is applied for that event. Algorithms that keep per-loss-event state
+// (e.g. OLIA's inter-loss ACK counters) update it here; Decrease stays
+// pure window arithmetic.
+type LossObserver interface {
+	OnLoss(subs []core.Subflow, r int)
+}
+
+// Info is the registry metadata of one algorithm.
+type Info struct {
+	// Name is the canonical (upper-case) algorithm name.
+	Name string
+	// Aliases are alternative names accepted by New (e.g. REGULAR's
+	// UNCOUPLED and TCP). Lookup of names and aliases is
+	// case-insensitive.
+	Aliases []string
+	// Desc is a one-line description for CLI help and docs.
+	Desc string
+	// Ref names the algorithm's origin (paper section, RFC, kernel
+	// module).
+	Ref string
+	// DelayBased marks algorithms driven by queuing delay rather than
+	// loss.
+	DelayBased bool
+	// Hooks lists the optional hook interfaces the algorithm
+	// implements ("OnRTTSample", "OnLoss"). Filled in by Register from
+	// the constructor's concrete type; never hand-maintained.
+	Hooks []string
+	// Rank orders Names/Infos for presentation: the paper's five
+	// algorithms in presentation order, then the kernel successors.
+	Rank int
+}
+
+type entry struct {
+	info Info
+	ctor func() core.Algorithm
+}
+
+var (
+	mu      sync.RWMutex
+	byName  = map[string]*entry{}
+	entries []*entry
+)
+
+// Register adds an algorithm constructor under info.Name and its
+// aliases. It is called from init functions; duplicate names (case-
+// insensitive, across names and aliases) panic. The constructor must
+// return a fresh instance on every call. Register fills info.Hooks by
+// probing which optional interfaces the constructed type implements.
+func Register(info Info, ctor func() core.Algorithm) {
+	if info.Name == "" || ctor == nil {
+		panic("cc: Register needs a name and a constructor")
+	}
+	probe := ctor()
+	if probe == nil {
+		panic("cc: constructor for " + info.Name + " returned nil")
+	}
+	if probe.Name() != info.Name {
+		panic(fmt.Sprintf("cc: %s constructor builds algorithm named %q", info.Name, probe.Name()))
+	}
+	info.Hooks = hooksOf(probe)
+
+	mu.Lock()
+	defer mu.Unlock()
+	e := &entry{info: info, ctor: ctor}
+	for _, key := range append([]string{info.Name}, info.Aliases...) {
+		k := strings.ToLower(key)
+		if _, dup := byName[k]; dup {
+			panic("cc: duplicate algorithm name " + key)
+		}
+		byName[k] = e
+	}
+	entries = append(entries, e)
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].info.Rank != entries[j].info.Rank {
+			return entries[i].info.Rank < entries[j].info.Rank
+		}
+		return entries[i].info.Name < entries[j].info.Name
+	})
+}
+
+// hooksOf reports which optional hook interfaces a implements.
+func hooksOf(a core.Algorithm) []string {
+	var h []string
+	if _, ok := a.(RTTObserver); ok {
+		h = append(h, "OnRTTSample")
+	}
+	if _, ok := a.(LossObserver); ok {
+		h = append(h, "OnLoss")
+	}
+	return h
+}
+
+// New constructs a fresh instance of the algorithm registered under
+// name (or one of its aliases). Lookup is case-insensitive and ignores
+// surrounding whitespace.
+func New(name string) (core.Algorithm, error) {
+	mu.RLock()
+	e, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cc: unknown algorithm %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return e.ctor(), nil
+}
+
+// Lookup returns the Info registered under name (or an alias),
+// case-insensitively.
+func Lookup(name string) (Info, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	e, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Info{}, false
+	}
+	return e.info, true
+}
+
+// Names lists the canonical algorithm names in Rank order (the paper's
+// five, then the kernel successor family).
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.info.Name
+	}
+	return out
+}
+
+// Infos returns the registered metadata in the same order as Names.
+func Infos() []Info {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Info, len(entries))
+	for i, e := range entries {
+		out[i] = e.info
+	}
+	return out
+}
+
+// Help renders a one-line-per-algorithm summary for CLI usage text.
+func Help() string {
+	var sb strings.Builder
+	for _, info := range Infos() {
+		fmt.Fprintf(&sb, "  %-12s %s (%s)\n", info.Name, info.Desc, info.Ref)
+	}
+	return sb.String()
+}

@@ -1,0 +1,41 @@
+package cc
+
+import "mptcp/internal/core"
+
+// The paper's five algorithms, implemented in internal/core, register
+// here so every consumer — CLIs, the tournament grid, tests — sees one
+// uniform catalogue. Ranks 0–4 keep the paper's presentation order
+// ahead of the kernel successor family (ranks 5+).
+func init() {
+	Register(Info{
+		Name:    "REGULAR",
+		Aliases: []string{"UNCOUPLED", "TCP"},
+		Desc:    "uncoupled NewReno on every subflow (single-path baseline; unfair strawman with >1)",
+		Ref:     "NSDI'11 §2.1",
+		Rank:    0,
+	}, func() core.Algorithm { return core.Regular{} })
+	Register(Info{
+		Name: "EWTCP",
+		Desc: "equally-weighted TCP: each subflow runs weighted AIMD at 1/n of a TCP's share",
+		Ref:  "NSDI'11 §2.1",
+		Rank: 1,
+	}, func() core.Algorithm { return core.EWTCP{} })
+	Register(Info{
+		Name: "COUPLED",
+		Desc: "fully coupled increase/decrease; moves all traffic to the least-congested path",
+		Ref:  "NSDI'11 §2.2",
+		Rank: 2,
+	}, func() core.Algorithm { return core.Coupled{} })
+	Register(Info{
+		Name: "SEMICOUPLED",
+		Desc: "coupled increase, per-subflow decrease; splits windows in proportion to 1/p_r",
+		Ref:  "NSDI'11 §2.4",
+		Rank: 3,
+	}, func() core.Algorithm { return core.SemiCoupled{} })
+	Register(Info{
+		Name: "MPTCP",
+		Desc: "the paper's eq. (1): semicoupled with RTT compensation and the 1/w_r cap",
+		Ref:  "NSDI'11 §2, RFC 6356",
+		Rank: 4,
+	}, func() core.Algorithm { return &core.MPTCP{} })
+}

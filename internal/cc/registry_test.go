@@ -1,0 +1,137 @@
+package cc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mptcp/internal/core"
+)
+
+// wantNames is the canonical catalogue: the paper's five algorithms in
+// presentation order, then the Linux-kernel successor family.
+var wantNames = []string{"REGULAR", "EWTCP", "COUPLED", "SEMICOUPLED", "MPTCP", "OLIA", "BALIA", "WVEGAS"}
+
+func TestNamesOrder(t *testing.T) {
+	if got := Names(); !reflect.DeepEqual(got, wantNames) {
+		t.Errorf("Names() = %v, want %v", got, wantNames)
+	}
+}
+
+func TestNewByCanonicalName(t *testing.T) {
+	for _, name := range Names() {
+		alg, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if alg.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, alg.Name())
+		}
+	}
+}
+
+func TestLookupIsCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"mptcp", "Mptcp", " MPTCP ", "olia", "Balia", "wvegas", "uncoupled", "tcp", "Vegas"} {
+		if _, err := New(name); err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+}
+
+func TestAliasesResolveToCanonical(t *testing.T) {
+	for alias, want := range map[string]string{"UNCOUPLED": "REGULAR", "tcp": "REGULAR", "vegas": "WVEGAS"} {
+		info, ok := Lookup(alias)
+		if !ok || info.Name != want {
+			t.Errorf("Lookup(%q) = (%v, %v), want canonical %q", alias, info.Name, ok, want)
+		}
+		alg, err := New(alias)
+		if err != nil || alg.Name() != want {
+			t.Errorf("New(%q) = (%v, %v), want algorithm %q", alias, alg, err, want)
+		}
+	}
+}
+
+func TestUnknownNameListsCatalogue(t *testing.T) {
+	_, err := New("bogus")
+	if err == nil {
+		t.Fatal("New(bogus) should fail")
+	}
+	if !strings.Contains(err.Error(), "MPTCP") || !strings.Contains(err.Error(), "OLIA") {
+		t.Errorf("error should list the catalogue, got: %v", err)
+	}
+}
+
+func TestNewReturnsFreshInstances(t *testing.T) {
+	// Stateful algorithms are owned by one connection each; the
+	// constructor must never hand out a shared instance.
+	for _, name := range []string{"MPTCP", "OLIA", "WVEGAS"} {
+		a, _ := New(name)
+		b, _ := New(name)
+		if a == b {
+			t.Errorf("New(%q) returned the same instance twice", name)
+		}
+	}
+}
+
+func TestInfoMetadataComplete(t *testing.T) {
+	infos := Infos()
+	if len(infos) != len(wantNames) {
+		t.Fatalf("got %d infos, want %d", len(infos), len(wantNames))
+	}
+	for _, info := range infos {
+		if info.Desc == "" || info.Ref == "" {
+			t.Errorf("%s: missing Desc/Ref metadata", info.Name)
+		}
+	}
+}
+
+func TestHooksMetadataMatchesImplementations(t *testing.T) {
+	want := map[string][]string{
+		"REGULAR":     nil,
+		"EWTCP":       nil,
+		"COUPLED":     nil,
+		"SEMICOUPLED": nil,
+		"MPTCP":       nil,
+		"OLIA":        {"OnLoss"},
+		"BALIA":       nil,
+		"WVEGAS":      {"OnRTTSample", "OnLoss"},
+	}
+	for _, info := range Infos() {
+		if !reflect.DeepEqual(info.Hooks, want[info.Name]) {
+			t.Errorf("%s hooks = %v, want %v", info.Name, info.Hooks, want[info.Name])
+		}
+	}
+	if info, _ := Lookup("WVEGAS"); !info.DelayBased {
+		t.Error("WVEGAS should be marked delay-based")
+	}
+}
+
+func TestHelpMentionsEveryAlgorithm(t *testing.T) {
+	h := Help()
+	for _, name := range Names() {
+		if !strings.Contains(h, name) {
+			t.Errorf("Help() omits %s", name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(Info{Name: "MPTCP"}, func() core.Algorithm { return &core.MPTCP{} })
+}
+
+func TestRegisterRejectsNameMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched constructor name did not panic")
+		}
+	}()
+	Register(Info{Name: "NOT-REGULAR"}, func() core.Algorithm { return core.Regular{} })
+}

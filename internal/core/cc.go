@@ -19,10 +19,15 @@
 // governs congestion avoidance; slow start, fast recovery and timeouts are
 // the transport's business (they are identical across the algorithms
 // evaluated in the paper).
+//
+// Construction by name lives in internal/cc: every algorithm — these
+// five and the Linux-kernel successors implemented there — registers a
+// named constructor plus metadata in that package's registry, and the
+// optional hook interfaces (RTT samples, per-loss-event state) extending
+// this package's Algorithm contract are defined there too.
 package core
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
@@ -150,7 +155,23 @@ func (Coupled) Increase(subs []Subflow, r int) float64 {
 }
 
 func (Coupled) Decrease(subs []Subflow, r int) float64 {
-	return floorMin(subs[r].Cwnd - TotalCwnd(subs)/2)
+	// The loss halves the aggregate: the intended decrement, w_total/2,
+	// is spread across the subflows by landing on whichever subflow the
+	// loss hits. With skewed windows the raw subtraction w_r − w_total/2
+	// can be deeply negative, so the decrement is clamped to what
+	// subflow r can actually give up before reaching the MinCwnd probe
+	// floor (§2.4: "always does some probing"); the remainder of the
+	// halving falls on the subflows the next losses hit. The result is
+	// max(MinCwnd, w_r − w_total/2), written out so the clamp semantics
+	// are explicit and pinned by TestCoupledDecreaseClampSkewed.
+	dec := TotalCwnd(subs) / 2
+	if room := subs[r].Cwnd - MinCwnd; dec > room {
+		dec = room
+	}
+	if dec < 0 {
+		dec = 0
+	}
+	return floorMin(subs[r].Cwnd - dec)
 }
 
 // SemiCoupled implements §2.4's compromise: increase a/w_total per ACK,
@@ -287,28 +308,3 @@ func (m *MPTCP) Decrease(subs []Subflow, r int) float64 {
 	return floorMin(subs[r].Cwnd / 2)
 }
 
-// New constructs an algorithm by the name used in the paper; n is the
-// number of subflows (used for default weights). Recognised names:
-// REGULAR (or UNCOUPLED, TCP), EWTCP, COUPLED, SEMICOUPLED, MPTCP.
-func New(name string) (Algorithm, error) {
-	switch name {
-	case "REGULAR", "UNCOUPLED", "TCP":
-		return Regular{}, nil
-	case "EWTCP":
-		return EWTCP{}, nil
-	case "COUPLED":
-		return Coupled{}, nil
-	case "SEMICOUPLED":
-		return SemiCoupled{}, nil
-	case "MPTCP":
-		return &MPTCP{}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", name)
-	}
-}
-
-// Names lists the algorithms accepted by New, in the paper's order of
-// presentation.
-func Names() []string {
-	return []string{"REGULAR", "EWTCP", "COUPLED", "SEMICOUPLED", "MPTCP"}
-}

@@ -22,26 +22,6 @@ func withRTT(s []Subflow, rtts ...float64) []Subflow {
 	return s
 }
 
-func TestFactory(t *testing.T) {
-	for _, name := range Names() {
-		alg, err := New(name)
-		if err != nil {
-			t.Fatalf("New(%q): %v", name, err)
-		}
-		if alg.Name() != name {
-			t.Errorf("New(%q).Name() = %q", name, alg.Name())
-		}
-	}
-	for _, alias := range []string{"UNCOUPLED", "TCP"} {
-		if _, err := New(alias); err != nil {
-			t.Errorf("alias %q rejected: %v", alias, err)
-		}
-	}
-	if _, err := New("bogus"); err == nil {
-		t.Error("New(bogus) should fail")
-	}
-}
-
 func TestRegularIsTCP(t *testing.T) {
 	var alg Regular
 	s := subs(10)
@@ -102,6 +82,53 @@ func TestCoupledDecreaseTotalHalf(t *testing.T) {
 	}
 	if got := alg.Decrease(s, 1); got != 10 {
 		t.Errorf("decrease -> %v, want 30-20=10", got)
+	}
+}
+
+// Regression for the skewed-window clamp: the intended decrement is
+// w_total/2, but a subflow can only give up what it holds above the
+// MinCwnd probe floor — the raw subtraction w_r − w_total/2 (deeply
+// negative for a small subflow of a large connection) must never leak
+// into the result, and the unclamped arithmetic must be exact whenever
+// the subflow can absorb the full decrement.
+func TestCoupledDecreaseClampSkewed(t *testing.T) {
+	var alg Coupled
+	// w_0 − w_total/2 = 2 − 321 = −319 raw: clamps to the probe floor.
+	s := subs(2, 640)
+	if got := alg.Decrease(s, 0); got != MinCwnd {
+		t.Errorf("skewed decrease -> %v, want probe floor %v", got, MinCwnd)
+	}
+	// The big subflow absorbs the full halving decrement exactly.
+	if got, want := alg.Decrease(s, 1), 640-321.0; got != want {
+		t.Errorf("decrease -> %v, want %v", got, want)
+	}
+	prop := func(raw []uint16, rsel uint8) bool {
+		n := len(raw)
+		if n == 0 || n > 8 {
+			return true
+		}
+		s := make([]Subflow, n)
+		for i := range s {
+			s[i] = Subflow{Cwnd: 0.5 + float64(raw[i]%4000)/3, SRTT: 0.1}
+		}
+		r := int(rsel) % n
+		got := alg.Decrease(s, r)
+		if got < MinCwnd || math.IsNaN(got) {
+			return false
+		}
+		// Never larger than the pre-loss window (no jump up on loss).
+		if got > math.Max(s[r].Cwnd, MinCwnd)+1e-9 {
+			return false
+		}
+		// When w_r − w_total/2 stays above the floor, the paper's
+		// arithmetic applies unmodified.
+		if exact := s[r].Cwnd - TotalCwnd(s)/2; exact >= MinCwnd && math.Abs(got-exact) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
 	}
 }
 

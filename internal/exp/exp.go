@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"mptcp/internal/cc"
 	"mptcp/internal/core"
 	"mptcp/internal/netsim"
 	"mptcp/internal/sim"
@@ -75,6 +76,17 @@ type Figure struct {
 	Curves []Curve
 }
 
+// Record is one machine-readable grid cell of a Result — e.g. one
+// (algorithm × topology) cell of the tournament. Experiments that run a
+// full cross-product attach one Record per cell, in cell order, so
+// drivers can emit them individually (cmd/mptcp-exp -json writes one
+// JSONL line per record instead of one aggregate line).
+type Record struct {
+	Algorithm string
+	Topology  string
+	Metrics   map[string]float64
+}
+
 // Result is everything an experiment reports.
 type Result struct {
 	ID      string
@@ -84,6 +96,9 @@ type Result struct {
 	// Metrics exposes headline scalars (used by benchmarks and
 	// EXPERIMENTS.md): e.g. "mptcp_total_mbps".
 	Metrics map[string]float64
+	// Records holds per-cell grid output for cross-product experiments;
+	// empty for the classic per-figure experiments.
+	Records []Record
 }
 
 func newResult(id string) *Result {
@@ -198,7 +213,7 @@ func algSet() []core.Algorithm {
 }
 
 func newAlg(name string) core.Algorithm {
-	a, err := core.New(name)
+	a, err := cc.New(name)
 	if err != nil {
 		panic(err)
 	}

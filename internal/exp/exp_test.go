@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"mptcp/internal/cc"
 )
 
 // TestAllExperimentsSmoke runs every registered experiment at a tiny
@@ -160,5 +163,76 @@ func TestShapeAblationReinject(t *testing.T) {
 	}
 	if res.Metrics["noreinject_done"] != 0 {
 		t.Error("transfer without reinjection should strand")
+	}
+}
+
+// TestTournamentGridComplete pins the tournament's acceptance shape:
+// one record per (algorithm × topology) cell, for every registered
+// algorithm across all four topologies, with finite metrics.
+func TestTournamentGridComplete(t *testing.T) {
+	e, ok := Get("tournament")
+	if !ok {
+		t.Fatal("tournament not registered")
+	}
+	res := e.Run(Config{Seed: 2, Scale: 0.02})
+	algs := cc.Names()
+	topos := []string{"torus", "dualhomed", "fattree", "wifi3g"}
+	if want := len(algs) * len(topos); len(res.Records) != want {
+		t.Fatalf("%d records, want %d (one per algorithm × topology cell)", len(res.Records), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Records {
+		key := r.Algorithm + "/" + r.Topology
+		if seen[key] {
+			t.Errorf("duplicate cell %s", key)
+		}
+		seen[key] = true
+		for k, v := range r.Metrics {
+			if v != v || math.IsInf(v, 0) || v < 0 {
+				t.Errorf("cell %s metric %s = %v", key, k, v)
+			}
+		}
+		if r.Metrics["jain"] > 1+1e-9 {
+			t.Errorf("cell %s Jain index %v > 1", key, r.Metrics["jain"])
+		}
+	}
+	for _, a := range algs {
+		for _, tp := range topos {
+			if !seen[a+"/"+tp] {
+				t.Errorf("missing cell %s/%s", a, tp)
+			}
+		}
+	}
+}
+
+// TestShapeTournament asserts the paper's qualitative orderings still
+// hold inside the extended grid: MPTCP is at least as fair as EWTCP on
+// the torus, and the kernel-family algorithms actually move traffic on
+// every topology.
+func TestShapeTournament(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	e, _ := Get("tournament")
+	res := e.Run(Config{Seed: 3, Scale: 0.3})
+	m := res.Metrics
+	if m["mptcp_torus_jain"] < m["ewtcp_torus_jain"] {
+		t.Errorf("MPTCP torus fairness %v should be >= EWTCP's %v (§3 Fig. 8)",
+			m["mptcp_torus_jain"], m["ewtcp_torus_jain"])
+	}
+	// COUPLED hides from the busy WiFi path (§5 Fig. 15): every coupled
+	// successor should beat it on the wireless client.
+	for _, alg := range []string{"mptcp", "olia", "balia"} {
+		if m[alg+"_wifi3g_mbps"] <= m["coupled_wifi3g_mbps"] {
+			t.Errorf("%s wifi3g %v should exceed COUPLED's %v", alg,
+				m[alg+"_wifi3g_mbps"], m["coupled_wifi3g_mbps"])
+		}
+	}
+	for _, alg := range []string{"olia", "balia", "wvegas"} {
+		for _, tp := range []string{"torus", "dualhomed", "fattree", "wifi3g"} {
+			if m[alg+"_"+tp+"_mbps"] <= 0 {
+				t.Errorf("%s delivered nothing on %s", alg, tp)
+			}
+		}
 	}
 }

@@ -110,9 +110,12 @@ func TestCollectKeepsCellOrder(t *testing.T) {
 // parallel runner's core guarantee: a representative multi-cell
 // experiment produces bit-identical results whether its cells run on one
 // worker or eight, because every cell's randomness derives from
-// CellSeed(base, idx) rather than from scheduling order.
+// CellSeed(base, idx) rather than from scheduling order. The tournament
+// — the largest grid, 8 algorithms × 4 topologies — is covered so the
+// full (algorithm × topology) matrix inherits the guarantee, including
+// its per-cell Records.
 func TestDeterminismAcrossParallelism(t *testing.T) {
-	for _, id := range []string{"fig8-torus", "sec23-wifi3g-model"} {
+	for _, id := range []string{"fig8-torus", "sec23-wifi3g-model", "tournament"} {
 		t.Run(id, func(t *testing.T) {
 			e, ok := Get(id)
 			if !ok {
@@ -123,6 +126,9 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 			if !reflect.DeepEqual(serial.Metrics, parallel.Metrics) {
 				t.Errorf("metrics diverge across parallelism:\n  serial:   %v\n  parallel: %v",
 					serial.Metrics, parallel.Metrics)
+			}
+			if !reflect.DeepEqual(serial.Records, parallel.Records) {
+				t.Error("per-cell records diverge across parallelism")
 			}
 			var sa, sb strings.Builder
 			serial.Render(&sa)

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"mptcp/internal/core"
@@ -76,7 +77,10 @@ func startFlows(w *world, rng *rand.Rand, src, dst []int, alg core.Algorithm, pa
 }
 
 // perHost sums flow rates by source host and returns the mean across
-// hosts that have at least one flow.
+// hosts that have at least one flow. The final sum runs in sorted host
+// order: float addition is not associative, so summing in Go's random
+// map-iteration order would wobble the metric's last bits from run to
+// run and break the bit-identical determinism guarantee.
 func perHost(src []int, rates []float64) float64 {
 	byHost := map[int]float64{}
 	for i, s := range src {
@@ -85,9 +89,14 @@ func perHost(src []int, rates []float64) float64 {
 	if len(byHost) == 0 {
 		return 0
 	}
+	hosts := make([]int, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
 	var t float64
-	for _, v := range byHost {
-		t += v
+	for _, h := range hosts {
+		t += byHost[h]
 	}
 	return t / float64(len(byHost))
 }

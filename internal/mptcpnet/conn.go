@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mptcp/internal/cc"
 	"mptcp/internal/core"
 )
 
@@ -44,6 +45,12 @@ type Sender struct {
 	connID uint64
 	subs   []*sendSubflow
 	alg    core.Algorithm
+
+	// Optional algorithm hooks (internal/cc's extended contract),
+	// resolved once; nil when the algorithm does not implement them.
+	// Invoked with mu held, like every other algorithm call.
+	rttObs  cc.RTTObserver
+	lossObs cc.LossObserver
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -116,6 +123,8 @@ func NewSender(connID uint64, conns []net.PacketConn, remotes []net.Addr, cfg Co
 		edge:   defaultWindow,
 		done:   make(chan struct{}),
 	}
+	s.rttObs, _ = s.alg.(cc.RTTObserver)
+	s.lossObs, _ = s.alg.(cc.LossObserver)
 	s.cond = sync.NewCond(&s.mu)
 	now := time.Now()
 	for i := range conns {
@@ -471,6 +480,9 @@ func (s *Sender) handleAck(sf *sendSubflow, h *header) {
 // segments below the highest sacked sequence.
 func (s *Sender) fastRetransmit(sf *sendSubflow) {
 	cc := &s.cc[sf.id]
+	if s.lossObs != nil {
+		s.lossObs.OnLoss(s.cc, sf.id)
+	}
 	cc.Cwnd = s.alg.Decrease(s.cc, sf.id)
 	cc.SSThresh = cc.Cwnd
 	sf.inRec = true
@@ -501,6 +513,9 @@ func (sf *sendSubflow) onRTO() {
 		return
 	}
 	cc := &s.cc[sf.id]
+	if s.lossObs != nil {
+		s.lossObs.OnLoss(s.cc, sf.id)
+	}
 	cc.SSThresh = s.alg.Decrease(s.cc, sf.id)
 	if cc.SSThresh < 2 {
 		cc.SSThresh = 2
@@ -544,6 +559,9 @@ func (sf *sendSubflow) sampleRTT(rtt time.Duration) {
 		sf.srtt = (7*sf.srtt + rtt) / 8
 	}
 	sf.parent.cc[sf.id].SRTT = sf.srtt.Seconds()
+	if obs := sf.parent.rttObs; obs != nil {
+		obs.OnRTTSample(sf.parent.cc, sf.id, rtt.Seconds())
+	}
 	rto := sf.srtt + 4*sf.rttvar
 	if rto < sf.parent.cfg.MinRTO {
 		rto = sf.parent.cfg.MinRTO

@@ -8,7 +8,7 @@ import (
 	"testing"
 	"time"
 
-	"mptcp/internal/core"
+	"mptcp/internal/cc"
 )
 
 // pipePair builds one emulated UDP path on loopback and returns the
@@ -163,10 +163,13 @@ func TestHeterogeneousPaths(t *testing.T) {
 }
 
 func TestCoupledAlgorithmsOverSockets(t *testing.T) {
-	for _, name := range []string{"EWTCP", "COUPLED", "SEMICOUPLED", "MPTCP"} {
+	// Every registered multipath algorithm must complete a transfer over
+	// real sockets — including the kernel-family successors, whose
+	// RTT/loss hooks are exercised through the mptcpnet wiring here.
+	for _, name := range []string{"EWTCP", "COUPLED", "SEMICOUPLED", "MPTCP", "OLIA", "BALIA", "WVEGAS"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			alg, err := core.New(name)
+			alg, err := cc.New(name)
 			if err != nil {
 				t.Fatal(err)
 			}

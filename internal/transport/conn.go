@@ -30,6 +30,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"mptcp/internal/cc"
 	"mptcp/internal/core"
 	"mptcp/internal/netsim"
 	"mptcp/internal/sim"
@@ -99,6 +100,12 @@ type Conn struct {
 	cc   []core.Subflow
 	recv *Receiver
 
+	// Optional algorithm hooks (internal/cc's extended contract),
+	// resolved once at construction so the per-ACK path pays no type
+	// assertion: nil when the algorithm does not implement them.
+	rttObs  cc.RTTObserver
+	lossObs cc.LossObserver
+
 	dataNxt   int64 // next new data sequence number to assign
 	dataUna   int64 // cumulative data-level acknowledgment
 	dataEdge  int64 // highest permitted dataSeq+1 (flow control edge)
@@ -162,6 +169,8 @@ func NewConn(nw *netsim.Net, cfg Config) *Conn {
 		total:    cfg.DataPackets,
 		dataEdge: cfg.RecvBuf,
 	}
+	c.rttObs, _ = c.alg.(cc.RTTObserver)
+	c.lossObs, _ = c.alg.(cc.LossObserver)
 	n := len(cfg.Paths)
 	c.cc = make([]core.Subflow, n)
 	c.recv = newReceiver(nw, c, n, cfg.RecvBuf)

@@ -277,6 +277,9 @@ func (sf *Subflow) onDupAck() {
 		sf.FastRetx++
 		cc := sf.cc()
 		pipe := sf.outstanding()
+		if obs := sf.conn.lossObs; obs != nil {
+			obs.OnLoss(sf.conn.cc, sf.id)
+		}
 		cc.Cwnd = sf.conn.alg.Decrease(sf.conn.cc, sf.id)
 		cc.SSThresh = cc.Cwnd
 		sf.inRec = true
@@ -339,6 +342,9 @@ func (sf *Subflow) onRTO() {
 	}
 	sf.RTOs++
 	cc := sf.cc()
+	if obs := sf.conn.lossObs; obs != nil {
+		obs.OnLoss(sf.conn.cc, sf.id)
+	}
 	cc.SSThresh = sf.conn.alg.Decrease(sf.conn.cc, sf.id)
 	if cc.SSThresh < 2 {
 		cc.SSThresh = 2
@@ -390,6 +396,9 @@ func (sf *Subflow) sampleRTT(rtt sim.Time) {
 		sf.srtt = (7*sf.srtt + rtt) / 8
 	}
 	sf.cc().SRTT = sf.srtt.Seconds()
+	if obs := sf.conn.rttObs; obs != nil {
+		obs.OnRTTSample(sf.conn.cc, sf.id, rtt.Seconds())
+	}
 	rto := sf.srtt + 4*sf.rttvar
 	if rto < sf.conn.cfg.MinRTO {
 		rto = sf.conn.cfg.MinRTO
