@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"mptcp/internal/exp"
+	"mptcp/internal/netsim"
+	"mptcp/internal/sim"
 )
 
 // benchScale keeps a full `go test -bench=.` run in the minutes range;
@@ -70,6 +72,48 @@ func benchExperiment(b *testing.B, id string, keys ...string) {
 				}
 			}
 		})
+	}
+}
+
+// --- event engine hot paths ---
+//
+// The BenchmarkEngine* family measures the substrate everything above
+// rides on. The packet-hop path and the per-ACK timer rearm are required
+// to run at 0 allocs/op (asserted by TestPacketHopZeroAlloc in
+// internal/netsim and TestPostZeroAlloc/TestTimerResetZeroAlloc in
+// internal/sim); CI additionally records events/sec via
+// `mptcp-exp -bench-engine` as BENCH_engine.json.
+
+// BenchmarkEnginePacketHop measures ns and allocations per packet-hop
+// event through the full netsim path (queue admission, departure
+// accounting, typed forward event, delivery), on the same
+// netsim.BenchRing workload the CI engine-bench record uses.
+func BenchmarkEnginePacketHop(b *testing.B) {
+	s := sim.New(1)
+	netsim.NewBenchRing(s, 4, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := s.Steps()
+	for s.Steps()-start < uint64(b.N) {
+		s.RunUntil(s.Now() + sim.Second)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.Steps()-start)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineTimerRearm measures the per-ACK retransmission-timer
+// path: one owned timer rearmed in place per operation.
+func BenchmarkEngineTimerRearm(b *testing.B) {
+	s := sim.New(1)
+	tm := s.NewTimer(func() {})
+	tm.Reset(sim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(sim.Second)
+		if i%64 == 0 {
+			s.RunUntil(s.Now() + sim.Millisecond)
+		}
 	}
 }
 

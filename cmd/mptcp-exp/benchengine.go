@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mptcp/internal/netsim"
+	"mptcp/internal/sim"
+)
+
+// engineBench is the cross-commit engine-performance record uploaded by
+// CI as BENCH_engine.json: one point of the perf trajectory per commit.
+type engineBench struct {
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	NsPerHop     float64 `json:"ns_per_hop"`
+	Hops         uint64  `json:"hops"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Timestamp    string  `json:"timestamp"`
+}
+
+// runEngineBench measures the hot packet-hop path of the event engine —
+// the loop the whole evaluation rides on — and writes the JSON record to
+// path. The workload is netsim.BenchRing (4 links, 256 circulating
+// packets), the same harness BenchmarkEnginePacketHop runs, so the CI
+// trajectory and the go-test benchmark measure the identical workload.
+func runEngineBench(path string) error {
+	s := sim.New(1)
+	netsim.NewBenchRing(s, 4, 256)
+
+	const hops = 8_000_000
+	var before, after runtime.MemStats
+	start0 := s.Steps()
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for s.Steps()-start0 < hops {
+		s.RunUntil(s.Now() + sim.Second)
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	done := s.Steps() - start0
+	rec := engineBench{
+		EventsPerSec: float64(done) / wall.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(done),
+		NsPerHop:     float64(wall.Nanoseconds()) / float64(done),
+		Hops:         done,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	fmt.Printf("engine bench: %.1fM events/s, %.4f allocs/op, %.1f ns/hop (%d hops)\n",
+		rec.EventsPerSec/1e6, rec.AllocsPerOp, rec.NsPerHop, rec.Hops)
+	return nil
+}

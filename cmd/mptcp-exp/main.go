@@ -58,7 +58,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent trial cells (0 = GOMAXPROCS)")
 	trials := flag.Int("trials", 1, "repetitions per experiment, base seeds seed..seed+trials-1")
 	jsonOut := flag.Bool("json", false, "emit one JSON record per trial instead of rendered reports")
+	benchEngine := flag.String("bench-engine", "", "measure the event engine's packet-hop path and write {events_per_sec, allocs_per_op, ns_per_hop} to FILE")
 	flag.Parse()
+
+	if *benchEngine != "" {
+		if err := runEngineBench(*benchEngine); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *id == "" {
 		fmt.Println("Experiments reproducing Wischik et al., NSDI 2011:")

@@ -307,4 +307,3 @@ func (m *MPTCP) Decrease(subs []Subflow, r int) float64 {
 	m.cacheN = 0
 	return floorMin(subs[r].Cwnd / 2)
 }
-

@@ -1,0 +1,69 @@
+package exp
+
+import "testing"
+
+// TestEngineMetricsGolden pins experiment metrics captured on the engine
+// BEFORE the zero-allocation rewrite of internal/sim (typed events,
+// rearm-in-place timers, freelists). The rewrite is required to be
+// behaviour-preserving: same seed, bit-identical metrics. If an
+// intentional semantic change ever touches these paths, regenerate the
+// literals with
+//
+//	go run ./cmd/mptcp-exp -run fig8-torus -scale 0.05 -seed 42 -json
+//	go run ./cmd/mptcp-exp -run fig2-triangle -scale 0.1 -seed 7 -json
+//
+// and say why in the commit message.
+func TestEngineMetricsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-experiment golden comparison")
+	}
+	cases := []struct {
+		id     string
+		seed   int64
+		scale  float64
+		golden map[string]float64
+	}{
+		{
+			id: "fig8-torus", seed: 42, scale: 0.05,
+			golden: map[string]float64{
+				"coupled_jain_c100":  0.9282617746954533,
+				"coupled_ratio_c100": 4.3617704463892215,
+				"ewtcp_jain_c100":    0.9470222644514679,
+				"ewtcp_ratio_c100":   0.8400210010500525,
+				"mptcp_jain_c100":    0.9094164939803752,
+				"mptcp_ratio_c100":   0.9618487314733049,
+			},
+		},
+		{
+			id: "fig2-triangle", seed: 7, scale: 0.1,
+			golden: map[string]float64{
+				"coupled_mean_mbps":    11.3302,
+				"coupled_onehop_share": 0.9918937492111132,
+				"ewtcp_mean_mbps":      11.2114,
+				"ewtcp_onehop_share":   0.939939429962356,
+				"mptcp_mean_mbps":      11.508000000000001,
+				"mptcp_onehop_share":   0.9843078156755934,
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			e, ok := Get(tc.id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", tc.id)
+			}
+			res := e.Run(Config{Seed: tc.seed, Scale: tc.scale})
+			for k, want := range tc.golden {
+				got, ok := res.Metrics[k]
+				if !ok {
+					t.Errorf("metric %s missing", k)
+					continue
+				}
+				if got != want {
+					t.Errorf("metric %s = %v, want golden %v (pre-rewrite engine)", k, got, want)
+				}
+			}
+		})
+	}
+}

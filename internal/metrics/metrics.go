@@ -60,13 +60,18 @@ type Sampler struct {
 	probes   []func() (string, float64)
 	series   map[string]*Series
 	order    []string
+	timer    *sim.Timer
 	stopped  bool
 }
 
 // NewSampler creates a sampler that fires every interval once Start is
 // called.
 func NewSampler(s *sim.Simulator, interval sim.Time) *Sampler {
-	return &Sampler{s: s, interval: interval, series: make(map[string]*Series)}
+	sa := &Sampler{s: s, interval: interval, series: make(map[string]*Series)}
+	// One owned timer rearmed per tick: the sampler creates no timer
+	// garbage over a run, however long.
+	sa.timer = s.NewTimer(sa.tick)
+	return sa
 }
 
 // Probe registers a named probe function evaluated at every tick.
@@ -78,11 +83,14 @@ func (sa *Sampler) Probe(name string, fn func() float64) {
 
 // Start schedules the first tick.
 func (sa *Sampler) Start() {
-	sa.s.After(sa.interval, sa.tick)
+	sa.timer.Reset(sa.interval)
 }
 
-// Stop halts sampling after the current tick.
-func (sa *Sampler) Stop() { sa.stopped = true }
+// Stop halts sampling and removes the pending tick from the event queue.
+func (sa *Sampler) Stop() {
+	sa.stopped = true
+	sa.timer.Stop()
+}
 
 func (sa *Sampler) tick() {
 	if sa.stopped {
@@ -93,7 +101,7 @@ func (sa *Sampler) tick() {
 		name, v := p()
 		sa.series[name].Add(now, v)
 	}
-	sa.s.After(sa.interval, sa.tick)
+	sa.timer.Reset(sa.interval)
 }
 
 // Series returns the series recorded under name, or nil.
@@ -102,7 +110,7 @@ func (sa *Sampler) Series(name string) *Series { return sa.series[name] }
 // Names returns the probe names in registration order.
 func (sa *Sampler) Names() []string { return sa.order }
 
-// Counter derives a rate (units/second) series from successive samples of
+// Rate derives a rate (units/second) series from successive samples of
 // a cumulative counter series.
 func (s *Series) Rate() *Series {
 	out := &Series{Name: s.Name + "/rate"}

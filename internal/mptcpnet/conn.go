@@ -52,19 +52,21 @@ type Sender struct {
 	rttObs  cc.RTTObserver
 	lossObs cc.LossObserver
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	cc      []core.Subflow
-	sendBuf [][]byte // segments not yet assigned a data sequence
-	segs    map[int64][]byte
-	dataNxt int64
-	dataUna int64
-	edge    int64 // flow-control edge (dataAck + window)
-	reinj   []int64
-	closed  bool
-	finSent bool
-	err     error
-	done    chan struct{}
+	mu         sync.Mutex
+	cond       *sync.Cond
+	cc         []core.Subflow
+	sendBuf    [][]byte // segments not yet assigned a data sequence
+	segs       map[int64][]byte
+	dataNxt    int64
+	dataUna    int64
+	edge       int64 // flow-control edge (dataAck + window)
+	reinj      []int64
+	closed     bool
+	finSent    bool
+	finRetries int
+	err        error
+	done       chan struct{} // closed once the stream is fully acknowledged
+	doneClosed bool
 
 	// Stats, guarded by mu; read via Stats().
 	segsSent  int64
@@ -77,6 +79,13 @@ type sendSubflow struct {
 	conn   net.PacketConn
 	remote net.Addr
 	parent *Sender
+
+	// sendQ feeds the subflow's single writer goroutine (writeLoop):
+	// socket writes leave in exactly the order transmit queued them.
+	// One goroutine per WriteTo (the previous design) let the scheduler
+	// reorder in-subflow transmissions, manufacturing spurious dupSACKs
+	// and fast retransmits on a loss-free path.
+	sendQ chan []byte
 
 	sndNxt, sndUna int64
 	meta           map[int64]*sentSeg
@@ -92,9 +101,12 @@ type sendSubflow struct {
 	rng *rand.Rand
 }
 
+// sentSeg is the sender-side scoreboard entry for one outstanding
+// segment. RTT comes from the echoed timestamp (with retransmission-
+// ambiguous samples suppressed via retx, Karn's rule), so no per-segment
+// send time is kept.
 type sentSeg struct {
 	dataSeq int64
-	sentAt  time.Time
 	sacked  bool
 	retx    bool
 }
@@ -102,6 +114,19 @@ type sentSeg struct {
 // defaultWindow is the conservative flow-control edge assumed until the
 // first ACK advertises the receiver's real shared-buffer window.
 const defaultWindow = 64
+
+// maxRTO bounds the retransmission timer (RFC 6298 §2.5 allows a maximum
+// of at least 60 seconds; the simulator transport applies the same cap).
+const maxRTO = 60 * time.Second
+
+// maxFinRetries bounds the FIN retransmission chain when the peer never
+// acknowledges: after this many (exponentially backed-off) attempts the
+// sender gives up and releases its goroutines instead of rescheduling
+// timers forever.
+const maxFinRetries = 12
+
+// sendQueueCap is the per-subflow writer queue depth, in segments.
+const sendQueueCap = 512
 
 // NewSender builds a sender whose subflow i talks over conns[i] to
 // remotes[i]. The caller owns the PacketConns until Close.
@@ -133,6 +158,7 @@ func NewSender(connID uint64, conns []net.PacketConn, remotes []net.Addr, cfg Co
 			conn:   conns[i],
 			remote: remotes[i],
 			parent: s,
+			sendQ:  make(chan []byte, sendQueueCap),
 			meta:   make(map[int64]*sentSeg),
 			rto:    time.Second,
 			start:  now,
@@ -143,6 +169,7 @@ func NewSender(connID uint64, conns []net.PacketConn, remotes []net.Addr, cfg Co
 	}
 	for _, sf := range s.subs {
 		go sf.readLoop()
+		go sf.writeLoop()
 	}
 	return s
 }
@@ -192,6 +219,7 @@ func (s *Sender) Close() error {
 	}
 	s.closed = true
 	s.pumpLocked()
+	s.maybeFinishLocked()
 	return nil
 }
 
@@ -202,6 +230,9 @@ func (s *Sender) Wait(timeout time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for !s.finishedLocked() {
+		if s.err != nil {
+			return s.err
+		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("mptcpnet: %d segments unacked at timeout", s.dataNxt-s.dataUna)
 		}
@@ -209,11 +240,52 @@ func (s *Sender) Wait(timeout time.Duration) error {
 		time.Sleep(5 * time.Millisecond)
 		s.mu.Lock()
 	}
+	s.maybeFinishLocked()
 	return nil
 }
 
 func (s *Sender) finishedLocked() bool {
 	return s.closed && len(s.sendBuf) == 0 && s.dataUna >= s.dataNxt && s.finSent
+}
+
+// maybeFinishLocked closes done once the stream is fully acknowledged.
+// The close releases the writer goroutines and terminates the FIN
+// retransmission chain, which previously leaked timers past Close.
+func (s *Sender) maybeFinishLocked() {
+	if s.doneClosed || !s.finishedLocked() {
+		return
+	}
+	s.doneClosed = true
+	close(s.done)
+	s.stopTimersLocked()
+	s.cond.Broadcast()
+}
+
+// abortLocked records err, closes done and wakes everyone: the sender is
+// giving up (e.g. the peer vanished and the FIN retry budget ran out, or
+// a subflow socket was closed under us).
+func (s *Sender) abortLocked(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	if !s.doneClosed {
+		s.doneClosed = true
+		close(s.done)
+	}
+	s.stopTimersLocked()
+	s.cond.Broadcast()
+}
+
+// stopTimersLocked cancels every subflow's retransmission timer so a
+// finished or aborted sender stops rescheduling (onRTO and armTimer are
+// additionally gated on doneClosed for the timer that is mid-flight).
+func (s *Sender) stopTimersLocked() {
+	for _, sf := range s.subs {
+		if sf.timer != nil {
+			sf.timer.Stop()
+		}
+		sf.timerOn = false
+	}
 }
 
 // Cwnd returns subflow i's congestion window in segments.
@@ -335,7 +407,7 @@ func (sf *sendSubflow) sendData(dataSeq int64) {
 	s := sf.parent
 	seq := sf.sndNxt
 	sf.sndNxt++
-	sf.meta[seq] = &sentSeg{dataSeq: dataSeq, sentAt: time.Now()}
+	sf.meta[seq] = &sentSeg{dataSeq: dataSeq}
 	sf.transmit(seq, false)
 	s.segsSent++
 }
@@ -359,7 +431,6 @@ func (sf *sendSubflow) transmit(seq int64, retx bool) {
 	buf := make([]byte, headerSize+len(payload))
 	h.marshal(buf)
 	copy(buf[headerSize:], payload)
-	m.sentAt = time.Now()
 	m.retx = m.retx || retx
 	if retx {
 		s.segsRetx++
@@ -369,8 +440,47 @@ func (sf *sendSubflow) transmit(seq int64, retx bool) {
 	if !sf.timerOn {
 		sf.armTimer()
 	}
-	// Socket writes happen outside the lock on a copy.
-	go sf.conn.WriteTo(buf, sf.remote) //nolint:errcheck // lossy path semantics
+	sf.queueWrite(buf)
+}
+
+// queueWrite hands buf to the subflow's writer goroutine, preserving the
+// transmission order decided under the lock, and reports whether the
+// segment was queued. Called with s.mu held, so it must never block: if
+// the writer has fallen sendQueueCap segments behind (a stalled socket),
+// the segment is dropped exactly as a congested path would drop it —
+// retransmission recovers it — rather than wedging every lock acquirer
+// (including Wait's deadline check) behind a dead PacketConn.
+func (sf *sendSubflow) queueWrite(buf []byte) bool {
+	select {
+	case sf.sendQ <- buf:
+		return true
+	default:
+		sf.parent.logf("sf%d writer backlogged, dropping segment", sf.id)
+		return false
+	}
+}
+
+// writeLoop is the subflow's single writer: it drains the FIFO send
+// queue so segments hit the socket in transmit order, and exits once the
+// connection is done — flushing anything queued first, because the final
+// FIN is queued in the same critical section that closes done and must
+// still reach the wire.
+func (sf *sendSubflow) writeLoop() {
+	for {
+		select {
+		case buf := <-sf.sendQ:
+			sf.conn.WriteTo(buf, sf.remote) //nolint:errcheck // lossy path semantics
+		case <-sf.parent.done:
+			for {
+				select {
+				case buf := <-sf.sendQ:
+					sf.conn.WriteTo(buf, sf.remote) //nolint:errcheck
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 func (sf *sendSubflow) sendFin() {
@@ -384,14 +494,40 @@ func (sf *sendSubflow) sendFin() {
 	}
 	buf := make([]byte, headerSize)
 	h.marshal(buf)
-	go sf.conn.WriteTo(buf, sf.remote) //nolint:errcheck
-	// Retransmit the FIN until everything is acked.
-	time.AfterFunc(s.cfg.MinRTO, func() {
+	if !sf.queueWrite(buf) {
+		// The writer is backlogged or already gone. The FIN carries no
+		// sequence-space ordering constraint, and it is the one segment
+		// whose silent loss the data machinery cannot recover (the
+		// receiver would never see EOF), so bypass the queue rather than
+		// drop it. Bounded: at most one such write per retry tick.
+		go sf.conn.WriteTo(buf, sf.remote) //nolint:errcheck // lossy path semantics
+	}
+	// Retransmit the FIN (with exponential backoff) until everything is
+	// acked. The chain is gated on done so it terminates as soon as the
+	// stream completes, and a retry budget stops it rescheduling forever
+	// when the peer is gone.
+	delay := s.cfg.MinRTO << uint(s.finRetries)
+	if delay > maxRTO || delay <= 0 {
+		delay = maxRTO
+	}
+	s.finRetries++
+	time.AfterFunc(delay, func() {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if !s.finishedLockedFin() {
-			sf.sendFin()
+		if s.doneClosed || s.finishedLockedFin() {
+			s.maybeFinishLocked()
+			return
 		}
+		if s.finRetries > maxFinRetries {
+			s.abortLocked(errors.New("mptcpnet: FIN unacknowledged after retries, giving up"))
+			return
+		}
+		sf.sendFin()
 	})
 }
 
@@ -403,6 +539,18 @@ func (s *Sender) finishedLockedFin() bool {
 // take the connection lock.
 func (sf *sendSubflow) readLoop() {
 	buf := make([]byte, 2048)
+	// A closed subflow socket means no ACK can ever arrive here again: if
+	// the stream is not already finished, abort so the writer goroutine,
+	// the FIN chain and the RTO timers are all released rather than
+	// leaked with an abandoned sender.
+	defer func() {
+		s := sf.parent
+		s.mu.Lock()
+		if !s.doneClosed {
+			s.abortLocked(fmt.Errorf("mptcpnet: subflow %d socket closed", sf.id))
+		}
+		s.mu.Unlock()
+	}()
 	for {
 		n, _, err := sf.conn.ReadFrom(buf)
 		if err != nil {
@@ -447,11 +595,23 @@ func (s *Sender) handleAck(sf *sendSubflow, h *header) {
 	switch {
 	case ack > sf.sndUna:
 		newly := ack - sf.sndUna
+		// Karn's rule: an ACK that covers a retransmitted segment is
+		// ambiguous (it may acknowledge either transmission), so it must
+		// not feed the RTT estimator — an ambiguous sample corrupts
+		// srtt/RTO and flows into OnRTTSample, poisoning delay-based
+		// algorithms (wVegas baseRTT). The simulator transport suppresses
+		// these via per-packet timestamps; here we check the retx marks.
+		retxAcked := false
 		for seq := sf.sndUna; seq < ack; seq++ {
+			if m := sf.meta[seq]; m != nil && m.retx {
+				retxAcked = true
+			}
 			delete(sf.meta, seq)
 		}
 		sf.sndUna = ack
-		sf.sampleRTT(time.Duration(sf.elapsedMicros()-h.Echo) * time.Microsecond)
+		if !retxAcked {
+			sf.sampleRTT(time.Duration(sf.elapsedMicros()-h.Echo) * time.Microsecond)
+		}
 		cc := &s.cc[sf.id]
 		if sf.inRec && ack >= sf.recover {
 			sf.inRec = false
@@ -474,6 +634,7 @@ func (s *Sender) handleAck(sf *sendSubflow, h *header) {
 		}
 	}
 	s.pumpLocked()
+	s.maybeFinishLocked()
 }
 
 // fastRetransmit halves the window once and retransmits all unsacked
@@ -509,8 +670,8 @@ func (sf *sendSubflow) onRTO() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sf.timerOn = false
-	if sf.sndNxt == sf.sndUna {
-		return
+	if s.doneClosed || sf.sndNxt == sf.sndUna {
+		return // finished/aborted senders must not rearm
 	}
 	cc := &s.cc[sf.id]
 	if s.lossObs != nil {
@@ -537,8 +698,8 @@ func (sf *sendSubflow) onRTO() {
 	}
 	sf.transmit(sf.sndUna, true)
 	sf.rto *= 2
-	if sf.rto > 60*time.Second {
-		sf.rto = 60 * time.Second
+	if sf.rto > maxRTO {
+		sf.rto = maxRTO
 	}
 	sf.armTimer()
 	s.pumpLocked()
@@ -566,6 +727,9 @@ func (sf *sendSubflow) sampleRTT(rtt time.Duration) {
 	if rto < sf.parent.cfg.MinRTO {
 		rto = sf.parent.cfg.MinRTO
 	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
 	sf.rto = rto
 }
 
@@ -574,7 +738,7 @@ func (sf *sendSubflow) armTimer() {
 		sf.timer.Stop()
 	}
 	sf.timerOn = false
-	if sf.sndNxt == sf.sndUna {
+	if sf.parent.doneClosed || sf.sndNxt == sf.sndUna {
 		return
 	}
 	sf.timerOn = true

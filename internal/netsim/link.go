@@ -149,8 +149,35 @@ func (l *Link) enqueue(n *Net, pkt *Packet) {
 	depart := start + tx
 	l.lastDepart = depart
 	l.departs = append(l.departs, depart)
-	l.Stats.BusyTime += tx
+	// Departure statistics (Departures/BytesSent/BusyTime) are accounted
+	// by depart (see Link.depart) when the scheduled event fires, not at
+	// accept time: packets still queued at run end, or stranded when the
+	// link goes down, must not count as departed.
+	pkt.txTime = tx
+	n.Sim.Post(depart+l.PropDelay, n, pkt)
+}
+
+// depart completes pkt's crossing of the link when its scheduled event
+// fires (at departure time plus PropDelay): the packet is either
+// credited to the departure counters and forwarded, or — if the link
+// went down while it was queued or propagating (SetDown, the §5 mobility
+// outage: a dead radio loses in-flight frames too) — stranded and
+// dropped. It reports whether the packet survived.
+//
+// Because the single per-hop event fires after propagation, counters lag
+// the departure instant by PropDelay: stats read mid-run or at run end
+// omit packets still on the wire. That bias is bounded by one
+// bandwidth-delay product and is conservative (never over-reports),
+// unlike the accept-time accounting this replaced, which counted
+// never-departed packets.
+func (l *Link) depart(n *Net, pkt *Packet) bool {
+	if l.down {
+		l.Stats.Drops++
+		n.FreePacket(pkt)
+		return false
+	}
 	l.Stats.Departures++
 	l.Stats.BytesSent += int64(pkt.Size)
-	n.Sim.At(depart+l.PropDelay, func() { n.forward(pkt) })
+	l.Stats.BusyTime += pkt.txTime
+	return true
 }

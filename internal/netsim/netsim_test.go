@@ -281,6 +281,130 @@ func TestQueueBoundProperty(t *testing.T) {
 	}
 }
 
+// Departure statistics must be settled when the departure event fires,
+// not at accept time: packets still queued when the run stops have not
+// departed.
+func TestStatsCountAtDeparture(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 0, 100) // 1 ms per 1500B packet
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 10, 1500)
+	if l.Stats.Departures != 0 {
+		t.Errorf("departures counted at accept time: %d, want 0", l.Stats.Departures)
+	}
+	s.RunUntil(3 * sim.Millisecond) // 3 of 10 have departed
+	if l.Stats.Departures != 3 {
+		t.Errorf("departures = %d after 3 ms, want 3", l.Stats.Departures)
+	}
+	if want := 3 * sim.Millisecond; l.Stats.BusyTime != want {
+		t.Errorf("busy time = %v after 3 ms, want %v", l.Stats.BusyTime, want)
+	}
+	if l.Stats.BytesSent != 3*1500 {
+		t.Errorf("bytes sent = %d, want %d", l.Stats.BytesSent, 3*1500)
+	}
+	s.Run()
+	if l.Stats.Departures != 10 || l.Stats.BytesSent != 10*1500 {
+		t.Errorf("final departures/bytes = %d/%d, want 10/%d",
+			l.Stats.Departures, l.Stats.BytesSent, 10*1500)
+	}
+}
+
+// Packets stranded in the queue when the link goes down are dropped, not
+// counted as departed, so utilisation and loss stats stay honest across
+// the §5 mobility outages.
+func TestSetDownStrandsQueuedPackets(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 0, 100)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 10, 1500)
+	s.RunUntil(2 * sim.Millisecond) // 2 departed
+	l.SetDown(true)
+	s.Run()
+	if len(dst.got) != 2 {
+		t.Errorf("delivered %d packets, want 2 (rest stranded)", len(dst.got))
+	}
+	if l.Stats.Departures != 2 {
+		t.Errorf("departures = %d, want 2", l.Stats.Departures)
+	}
+	if l.Stats.Drops != 8 {
+		t.Errorf("drops = %d, want 8 stranded", l.Stats.Drops)
+	}
+	// Conservation: everything offered was delivered or dropped.
+	if int64(len(dst.got))+l.Stats.Drops != l.Stats.Arrivals {
+		t.Errorf("conservation violated: %d delivered + %d dropped != %d arrivals",
+			len(dst.got), l.Stats.Drops, l.Stats.Arrivals)
+	}
+	if want := 2 * sim.Millisecond; l.Stats.BusyTime != want {
+		t.Errorf("busy time = %v, want %v", l.Stats.BusyTime, want)
+	}
+}
+
+// drain is an endpoint that frees packets without recording them.
+type drain struct{ net *Net }
+
+func (d *drain) Receive(p *Packet) { d.net.FreePacket(p) }
+
+// The packet-hop path must be allocation-free once the world is warm:
+// every hop reuses a pooled packet, a typed event record in the heap's
+// backing array, and no closures.
+func TestPacketHopZeroAlloc(t *testing.T) {
+	s, n := testNet()
+	l1 := NewLink("l1", 1000, sim.Millisecond, 1<<20)
+	l2 := NewLink("l2", 1000, sim.Millisecond, 1<<20)
+	dst := &drain{net: n}
+	r := NewRoute(dst, l1, l2)
+	for i := 0; i < 2048; i++ { // warm freelist, heap and queue arrays
+		p := n.AllocPacket()
+		p.Size = 1500
+		n.Send(r, p)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		p := n.AllocPacket()
+		p.Size = 1500
+		n.Send(r, p)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("packet-hop path allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// SendAt (the jittered-transmission path) must behave like a deferred
+// Send: same delivery, same counters, no closure.
+func TestSendAtDefersInjection(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 0, 100)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	p := n.AllocPacket()
+	p.Size = 1500
+	n.SendAt(5*sim.Millisecond, r, p)
+	if n.PacketsSent != 0 {
+		t.Errorf("PacketsSent counted before injection fired")
+	}
+	s.Run()
+	if len(dst.got) != 1 || dst.times[0] != 6*sim.Millisecond {
+		t.Fatalf("delivery at %v, want 6ms", dst.times)
+	}
+	if n.PacketsSent != 1 {
+		t.Errorf("PacketsSent = %d, want 1", n.PacketsSent)
+	}
+	// at <= now sends immediately.
+	p2 := n.AllocPacket()
+	p2.Size = 1500
+	n.SendAt(s.Now(), r, p2)
+	if n.PacketsSent != 2 {
+		t.Errorf("immediate SendAt did not inject")
+	}
+	s.Run()
+	if len(dst.got) != 2 {
+		t.Errorf("immediate SendAt lost the packet")
+	}
+}
+
 func BenchmarkLinkForwarding(b *testing.B) {
 	s := sim.New(1)
 	n := NewNet(s)

@@ -21,6 +21,11 @@ type Packet struct {
 	route *Route
 	hop   int
 
+	// txTime is the serialisation delay assigned when the current link
+	// accepted the packet; the departure event uses it to account
+	// BusyTime at the rate that actually applied.
+	txTime sim.Time
+
 	// Size in bytes on the wire (headers included).
 	Size int
 
@@ -136,6 +141,35 @@ func (n *Net) Send(route *Route, pkt *Packet) {
 	pkt.route = route
 	pkt.hop = 0
 	n.PacketsSent++
+	n.forward(pkt)
+}
+
+// SendAt injects pkt along route at time at, the zero-allocation
+// replacement for scheduling a closure over Send (e.g. the sender-side
+// transmission jitter). Injection at or before the current instant sends
+// immediately.
+func (n *Net) SendAt(at sim.Time, route *Route, pkt *Packet) {
+	if at <= n.Sim.Now() {
+		n.Send(route, pkt)
+		return
+	}
+	pkt.route = route
+	pkt.hop = 0
+	n.Sim.Post(at, n, pkt)
+}
+
+// OnEvent implements sim.Handler; it is engine plumbing, not part of the
+// public surface. A packet event is either a delayed injection (hop 0,
+// scheduled by SendAt) or the completed crossing of route link hop-1
+// (scheduled by Link.enqueue), which settles that link's departure
+// accounting before the packet advances.
+func (n *Net) OnEvent(arg any) {
+	pkt := arg.(*Packet)
+	if pkt.hop == 0 {
+		n.PacketsSent++
+	} else if !pkt.route.Links[pkt.hop-1].depart(n, pkt) {
+		return // stranded: the link went down mid-flight
+	}
 	n.forward(pkt)
 }
 

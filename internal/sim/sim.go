@@ -6,10 +6,23 @@
 // engine is single-threaded and fully deterministic: events firing at the
 // same instant are executed in scheduling order, and all randomness flows
 // from one seeded source.
+//
+// # Zero-allocation scheduling
+//
+// The event queue is a binary min-heap of event records stored by value —
+// a tagged union of {typed handler callback, rearmable timer, one-shot
+// function}. Scheduling therefore never allocates per event: the heap's
+// backing array is the event pool (a popped slot is reused by the next
+// push), typed events (Post) carry a pre-built handler interface plus a
+// pointer-sized argument, and rearmable timers (NewTimer) are rearmed in
+// place with Reset, which re-keys the queued record and restores heap
+// order instead of abandoning a dead entry. Cancelled events are removed
+// eagerly, so the heap holds live events only. A Timer freelist owned by
+// the Simulator (mirroring netsim's packet freelist) recycles timer
+// objects across short-lived connections via NewTimer/Release.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -40,39 +53,110 @@ func (t Time) String() string {
 	return fmt.Sprintf("%.6fs", t.Seconds())
 }
 
-// Timer is a handle to a scheduled event. It may be stopped before it fires.
-type Timer struct {
-	at    Time
-	seq   uint64
-	index int // heap index, -1 when not queued
-	fn    func()
+// Handler consumes a typed event posted with Simulator.Post. Implementing
+// it lets an object (a network, an endpoint) receive scheduled callbacks
+// without a per-event closure: the packet-forward hot path schedules
+// {handler, argument} pairs that are stored by value in the event heap.
+type Handler interface {
+	OnEvent(arg any)
 }
 
-// Stop cancels the timer. It is safe to call on a timer that has already
-// fired or been stopped. It reports whether the call prevented the event
-// from firing.
+// evKind tags the event union.
+type evKind uint8
+
+const (
+	evFunc    evKind = iota // one-shot function (At/After)
+	evHandler               // typed callback: h.OnEvent(arg)
+	evTimer                 // rearmable Timer: tm.fn()
+)
+
+// event is one scheduled occurrence, stored by value in the heap. Exactly
+// one of {fn, h/arg, tm} is meaningful, per kind.
+type event struct {
+	at   Time
+	seq  uint64
+	kind evKind
+	fn   func()
+	h    Handler
+	arg  any
+	tm   *Timer
+}
+
+// Timer is a rearmable handle to a scheduled event, created with
+// Simulator.NewTimer. Reset rearms it in place: if the timer is queued,
+// its event record is re-keyed and the heap repaired (heap fix), so
+// stop-and-rearm cycles — a retransmission timer touched on every ACK —
+// create no garbage and leave no dead entries in the queue.
+type Timer struct {
+	s     *Simulator
+	fn    func()
+	at    Time
+	index int // position of the timer's event in the heap, -1 when idle
+}
+
+// Stop cancels the timer, removing its event from the queue. It is safe
+// to call on a timer that has already fired or been stopped. It reports
+// whether the call prevented the event from firing.
 func (t *Timer) Stop() bool {
-	if t == nil || t.fn == nil {
+	if t == nil || t.index < 0 {
 		return false
 	}
-	t.fn = nil
+	t.s.remove(t.index)
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.fn != nil }
+func (t *Timer) Active() bool { return t != nil && t.index >= 0 }
 
-// When returns the instant the timer is scheduled to fire at.
+// When returns the instant the timer is (or was last) scheduled to fire.
 func (t *Timer) When() Time { return t.at }
+
+// Reset (re)arms the timer to fire d from now. If the timer is already
+// queued its event is rearmed in place; otherwise a fresh event is
+// pushed. Like the initial scheduling, a rearm counts as a new scheduling
+// for same-instant ordering purposes.
+func (t *Timer) Reset(d Time) { t.ResetAt(t.s.now + d) }
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	s := t.s
+	if at < s.now {
+		panic(fmt.Sprintf("sim: rearming timer at %v before now %v", at, s.now))
+	}
+	t.at = at
+	s.seq++
+	if t.index >= 0 {
+		e := &s.ev[t.index]
+		e.at = at
+		e.seq = s.seq
+		s.fix(t.index)
+		return
+	}
+	s.push(event{at: at, seq: s.seq, kind: evTimer, tm: t})
+}
+
+// Release stops the timer and returns it to the simulator's freelist for
+// reuse by a later NewTimer. The caller must not touch the handle
+// afterwards; owners release their timers on teardown (e.g. a completed
+// connection) so workloads that churn connections recycle timer objects.
+func (t *Timer) Release() {
+	if t == nil || t.fn == nil {
+		return // nil or already released: never double-insert in the freelist
+	}
+	t.Stop()
+	t.fn = nil
+	t.s.free = append(t.s.free, t)
+}
 
 // Simulator is a discrete-event scheduler. The zero value is not usable;
 // construct with New.
 type Simulator struct {
 	now    Time
-	events eventHeap
+	ev     []event // binary min-heap ordered by (at, seq)
 	seq    uint64
 	rng    *rand.Rand
 	nsteps uint64
+	free   []*Timer // Timer freelist (NewTimer / Release)
 }
 
 // New returns a Simulator whose random source is seeded with seed.
@@ -90,21 +174,50 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // reporting simulator throughput in benchmarks.
 func (s *Simulator) Steps() uint64 { return s.nsteps }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it is always a bug in the caller.
-func (s *Simulator) At(t Time, fn func()) *Timer {
+// NewTimer returns an idle rearmable timer that runs fn when it fires;
+// arm it with Reset. The timer comes from the simulator's freelist when
+// one is available.
+func (s *Simulator) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil function")
+	}
+	if n := len(s.free); n > 0 {
+		t := s.free[n-1]
+		s.free = s.free[:n-1]
+		t.fn = fn
+		t.index = -1
+		return t
+	}
+	return &Timer{s: s, fn: fn, index: -1}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it is always a bug in the caller. For an event that must be
+// cancelled or rearmed later, use NewTimer instead.
+func (s *Simulator) At(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	tm := &Timer{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, tm)
-	return tm
+	s.push(event{at: t, seq: s.seq, kind: evFunc, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (s *Simulator) After(d Time, fn func()) *Timer {
-	return s.At(s.now+d, fn)
+func (s *Simulator) After(d Time, fn func()) {
+	s.At(s.now+d, fn)
+}
+
+// Post schedules h.OnEvent(arg) at absolute time t. This is the
+// allocation-free path used for packet-hop events: the handler interface
+// and the (pointer-sized) argument are stored by value in the event
+// record, so the per-hop cost is one heap insert and nothing for the
+// garbage collector.
+func (s *Simulator) Post(t Time, h Handler, arg any) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	s.push(event{at: t, seq: s.seq, kind: evHandler, h: h, arg: arg})
 }
 
 // RunUntil executes events in timestamp order until the event queue is
@@ -112,19 +225,10 @@ func (s *Simulator) After(d Time, fn func()) *Timer {
 // time of the last executed event, or at end if no event at or before end
 // remains.
 func (s *Simulator) RunUntil(end Time) {
-	for len(s.events) > 0 {
-		next := s.events[0]
-		if next.at > end {
-			break
-		}
-		heap.Pop(&s.events)
-		if next.fn == nil {
-			continue // cancelled
-		}
-		s.now = next.at
-		fn := next.fn
-		next.fn = nil
-		fn()
+	for len(s.ev) > 0 && s.ev[0].at <= end {
+		e := s.pop()
+		s.now = e.at
+		s.dispatch(e)
 		s.nsteps++
 	}
 	if s.now < end {
@@ -134,54 +238,137 @@ func (s *Simulator) RunUntil(end Time) {
 
 // Run executes events until the queue empties.
 func (s *Simulator) Run() {
-	for len(s.events) > 0 {
-		next := heap.Pop(&s.events).(*Timer)
-		if next.fn == nil {
-			continue
-		}
-		s.now = next.at
-		fn := next.fn
-		next.fn = nil
-		fn()
+	for len(s.ev) > 0 {
+		e := s.pop()
+		s.now = e.at
+		s.dispatch(e)
 		s.nsteps++
 	}
 }
 
-// Pending returns the number of events in the queue, including cancelled
-// entries that have not yet been reaped.
-func (s *Simulator) Pending() int { return len(s.events) }
-
-// eventHeap is a min-heap ordered by (at, seq) so that simultaneous events
-// fire in scheduling order.
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (s *Simulator) dispatch(e event) {
+	switch e.kind {
+	case evFunc:
+		e.fn()
+	case evHandler:
+		e.h.OnEvent(e.arg)
+	case evTimer:
+		e.tm.fn()
 	}
-	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// Pending returns the number of events in the queue. Cancelled events are
+// removed eagerly, so every pending event is live.
+func (s *Simulator) Pending() int { return len(s.ev) }
+
+// --- event heap: binary min-heap over []event ordered by (at, seq).
+// Implemented directly (not via container/heap) so records stay by value
+// and pushes never box through an interface.
+
+func (s *Simulator) less(i, j int) bool {
+	if s.ev[i].at != s.ev[j].at {
+		return s.ev[i].at < s.ev[j].at
+	}
+	return s.ev[i].seq < s.ev[j].seq
 }
 
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
+func (s *Simulator) swap(i, j int) {
+	s.ev[i], s.ev[j] = s.ev[j], s.ev[i]
+	if t := s.ev[i].tm; t != nil {
+		t.index = i
+	}
+	if t := s.ev[j].tm; t != nil {
+		t.index = j
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+func (s *Simulator) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts the element at i toward the leaves; it reports whether the
+// element moved.
+func (s *Simulator) down(i int) bool {
+	start := i
+	n := len(s.ev)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && s.less(r, l) {
+			j = r
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s.swap(i, j)
+		i = j
+	}
+	return i > start
+}
+
+func (s *Simulator) fix(i int) {
+	if !s.down(i) {
+		s.up(i)
+	}
+}
+
+func (s *Simulator) push(e event) {
+	s.ev = append(s.ev, e)
+	i := len(s.ev) - 1
+	if t := e.tm; t != nil {
+		t.index = i
+	}
+	s.up(i)
+}
+
+// pop removes and returns the minimum event. If the event belongs to a
+// timer, the timer is detached (index -1) before return so its callback
+// may rearm it immediately.
+func (s *Simulator) pop() event {
+	e := s.ev[0]
+	n := len(s.ev) - 1
+	if n > 0 {
+		s.ev[0] = s.ev[n]
+		if t := s.ev[0].tm; t != nil {
+			t.index = 0
+		}
+	}
+	s.ev[n] = event{} // release fn/handler/arg references
+	s.ev = s.ev[:n]
+	if n > 1 {
+		s.down(0)
+	}
+	if t := e.tm; t != nil {
+		t.index = -1
+	}
+	return e
+}
+
+// remove deletes the event at heap position i (a cancelled timer).
+func (s *Simulator) remove(i int) {
+	if t := s.ev[i].tm; t != nil {
+		t.index = -1
+	}
+	n := len(s.ev) - 1
+	if i != n {
+		s.ev[i] = s.ev[n]
+		if t := s.ev[i].tm; t != nil {
+			t.index = i
+		}
+	}
+	s.ev[n] = event{}
+	s.ev = s.ev[:n]
+	if i < n {
+		s.fix(i)
+	}
 }

@@ -69,7 +69,11 @@ func TestRunUntilStopsEarly(t *testing.T) {
 func TestTimerStop(t *testing.T) {
 	s := New(1)
 	fired := false
-	tm := s.At(10*Millisecond, func() { fired = true })
+	tm := s.NewTimer(func() { fired = true })
+	if tm.Active() {
+		t.Error("new timer should be idle until Reset")
+	}
+	tm.Reset(10 * Millisecond)
 	if !tm.Active() {
 		t.Error("timer should be active before firing")
 	}
@@ -78,6 +82,9 @@ func TestTimerStop(t *testing.T) {
 	}
 	if tm.Stop() {
 		t.Error("second Stop should report false")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("stopped timer left %d events queued, want 0", s.Pending())
 	}
 	s.Run()
 	if fired {
@@ -95,6 +102,101 @@ func TestTimerStopNil(t *testing.T) {
 	}
 	if tm.Active() {
 		t.Error("nil timer should not be active")
+	}
+}
+
+func TestTimerResetRearmsInPlace(t *testing.T) {
+	s := New(1)
+	var firedAt []Time
+	tm := s.NewTimer(func() { firedAt = append(firedAt, s.Now()) })
+	tm.Reset(10 * Millisecond)
+	// Rearm while queued: the original 10 ms firing must not happen.
+	tm.Reset(30 * Millisecond)
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("rearm left %d events queued, want 1 (in-place)", got)
+	}
+	s.Run()
+	if len(firedAt) != 1 || firedAt[0] != 30*Millisecond {
+		t.Errorf("fired at %v, want [30ms]", firedAt)
+	}
+	// Rearm after firing: pushes a fresh event.
+	tm.Reset(5 * Millisecond)
+	s.Run()
+	if len(firedAt) != 2 || firedAt[1] != 35*Millisecond {
+		t.Errorf("fired at %v, want second firing at 35ms", firedAt)
+	}
+}
+
+func TestTimerResetEarlierAndLater(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.At(20*Millisecond, func() { order = append(order, "mid") })
+	tm := s.NewTimer(func() { order = append(order, "timer") })
+	tm.Reset(40 * Millisecond)
+	tm.Reset(10 * Millisecond) // move earlier, past the queued fn event
+	s.Run()
+	if len(order) != 2 || order[0] != "timer" || order[1] != "mid" {
+		t.Errorf("order = %v, want [timer mid]", order)
+	}
+}
+
+func TestTimerRearmFromCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tm *Timer
+	tm = s.NewTimer(func() {
+		n++
+		if n < 5 {
+			tm.Reset(Millisecond)
+		}
+	})
+	tm.Reset(Millisecond)
+	s.Run()
+	if n != 5 {
+		t.Errorf("periodic timer fired %d times, want 5", n)
+	}
+	if s.Now() != 5*Millisecond {
+		t.Errorf("clock = %v, want 5ms", s.Now())
+	}
+}
+
+func TestTimerReleaseRecycles(t *testing.T) {
+	s := New(1)
+	t1 := s.NewTimer(func() {})
+	t1.Reset(Second)
+	t1.Release()
+	if s.Pending() != 0 {
+		t.Error("Release should stop the timer")
+	}
+	t2 := s.NewTimer(func() {})
+	if t1 != t2 {
+		t.Error("freelist did not recycle the released timer")
+	}
+}
+
+type probeHandler struct {
+	got []any
+	at  []Time
+	s   *Simulator
+}
+
+func (p *probeHandler) OnEvent(arg any) {
+	p.got = append(p.got, arg)
+	p.at = append(p.at, p.s.Now())
+}
+
+func TestPostDispatchesHandler(t *testing.T) {
+	s := New(1)
+	h := &probeHandler{s: s}
+	x, y := new(int), new(int)
+	s.Post(20*Millisecond, h, y)
+	s.Post(10*Millisecond, h, x)
+	s.Run()
+	if len(h.got) != 2 || h.got[0] != x || h.got[1] != y {
+		t.Fatalf("handler got %v, want [x y] in time order", h.got)
+	}
+	if h.at[0] != 10*Millisecond || h.at[1] != 20*Millisecond {
+		t.Errorf("handler fired at %v, want [10ms 20ms]", h.at)
 	}
 }
 
@@ -184,7 +286,8 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 }
 
-// Property: stopping a random subset of timers fires exactly the others.
+// Property: stopping a random subset of timers fires exactly the others,
+// and the queue holds live events only at every point.
 func TestStopSubsetProperty(t *testing.T) {
 	prop := func(delays []uint16, stopMask []bool) bool {
 		s := New(3)
@@ -192,16 +295,21 @@ func TestStopSubsetProperty(t *testing.T) {
 		timers := make([]*Timer, len(delays))
 		for i, d := range delays {
 			i := i
-			timers[i] = s.At(Time(d)*Microsecond, func() { fired[i] = true })
+			timers[i] = s.NewTimer(func() { fired[i] = true })
+			timers[i].Reset(Time(d) * Microsecond)
 		}
 		want := make(map[int]bool)
+		stopped := 0
 		for i := range delays {
-			stopped := i < len(stopMask) && stopMask[i]
-			if stopped {
+			if i < len(stopMask) && stopMask[i] {
 				timers[i].Stop()
+				stopped++
 			} else {
 				want[i] = true
 			}
+		}
+		if s.Pending() != len(delays)-stopped {
+			return false // cancelled events must leave the heap eagerly
 		}
 		s.Run()
 		if len(fired) != len(want) {
@@ -219,6 +327,71 @@ func TestStopSubsetProperty(t *testing.T) {
 	}
 }
 
+// Property: interleaved rearms preserve (time, scheduling-order) firing.
+func TestResetOrderingProperty(t *testing.T) {
+	prop := func(moves []uint16) bool {
+		s := New(9)
+		const n = 8
+		var fired []Time
+		timers := make([]*Timer, n)
+		for i := range timers {
+			timers[i] = s.NewTimer(func() { fired = append(fired, s.Now()) })
+			timers[i].Reset(Time(i+1) * Millisecond)
+		}
+		for k, m := range moves {
+			timers[k%n].Reset(Time(m) * Microsecond)
+		}
+		s.Run()
+		if len(fired) != n {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The packet-hop path (Post) must not allocate once the heap is warm.
+func TestPostZeroAlloc(t *testing.T) {
+	s := New(1)
+	h := &countHandler{}
+	arg := new(int)
+	for i := 0; i < 1024; i++ { // warm the heap's backing array
+		s.Post(s.Now()+Time(i), h, arg)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Post(s.Now()+Microsecond, h, arg)
+		s.RunUntil(s.Now() + Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("Post+dispatch allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Rearming a live timer must not allocate.
+func TestTimerResetZeroAlloc(t *testing.T) {
+	s := New(1)
+	tm := s.NewTimer(func() {})
+	tm.Reset(Second)
+	allocs := testing.AllocsPerRun(100, func() {
+		tm.Reset(Second)
+	})
+	if allocs != 0 {
+		t.Errorf("Reset allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+type countHandler struct{ n int }
+
+func (c *countHandler) OnEvent(arg any) { c.n++ }
+
 func BenchmarkEventThroughput(b *testing.B) {
 	s := New(1)
 	var tick func()
@@ -229,21 +402,42 @@ func BenchmarkEventThroughput(b *testing.B) {
 			s.After(Microsecond, tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.After(0, tick)
 	s.Run()
 }
 
+// BenchmarkTimerChurn is the legacy stop-and-recreate pattern, kept for
+// comparison against the rearm-in-place path (BenchmarkEngineTimerRearm
+// at the repository root).
 func BenchmarkTimerChurn(b *testing.B) {
-	// Models RTO timers: most timers are cancelled before firing.
 	s := New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var prev *Timer
 	for i := 0; i < b.N; i++ {
 		prev.Stop()
-		prev = s.At(s.Now()+Second, func() {})
+		prev = s.NewTimer(func() {})
+		prev.Reset(Second)
 		if i%16 == 0 {
 			s.RunUntil(s.Now() + Millisecond)
 		}
 	}
+}
+
+// BenchmarkPostHop measures the typed-event scheduling path in isolation.
+func BenchmarkPostHop(b *testing.B) {
+	s := New(1)
+	h := &countHandler{}
+	arg := new(int)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Post(s.Now()+Microsecond, h, arg)
+		if i%16 == 0 {
+			s.RunUntil(s.Now() + Millisecond)
+		}
+	}
+	s.Run()
 }

@@ -35,13 +35,15 @@ type OnOffCBR struct {
 
 // NewOnOffCBR builds the source; links is the forward path. Call Start.
 func NewOnOffCBR(nw *netsim.Net, rateMbps float64, meanOn, meanOff sim.Time, links ...*netsim.Link) *OnOffCBR {
-	return &OnOffCBR{
+	c := &OnOffCBR{
 		Net:      nw,
 		Route:    netsim.NewRoute(&sink{net: nw}, links...),
 		RateMbps: rateMbps,
 		MeanOn:   meanOn,
 		MeanOff:  meanOff,
 	}
+	c.sendTimer = nw.Sim.NewTimer(c.sendNext)
+	return c
 }
 
 // Start begins the on/off cycle (starting in an off-period so flows have
@@ -79,7 +81,7 @@ func (c *OnOffCBR) sendNext() {
 	c.Net.Send(c.Route, p)
 	c.PktsSent++
 	gap := sim.Time(float64(netsim.DataPacketSize*8) / (c.RateMbps * 1e6) * float64(sim.Second))
-	c.sendTimer = c.Net.Sim.After(gap, c.sendNext)
+	c.sendTimer.Reset(gap)
 }
 
 // Pareto samples a Pareto distribution with shape alpha and the given

@@ -171,6 +171,7 @@ func NewConn(nw *netsim.Net, cfg Config) *Conn {
 	}
 	c.rttObs, _ = c.alg.(cc.RTTObserver)
 	c.lossObs, _ = c.alg.(cc.LossObserver)
+	c.persistTimer = nw.Sim.NewTimer(c.persistProbe)
 	n := len(cfg.Paths)
 	c.cc = make([]core.Subflow, n)
 	c.recv = newReceiver(nw, c, n, cfg.RecvBuf)
@@ -215,9 +216,22 @@ func (c *Conn) Stop() {
 	}
 	c.done = true
 	c.doneAt = c.net.Sim.Now()
-	c.persistTimer.Stop()
+	c.releaseTimers()
+}
+
+// releaseTimers stops the connection's timers and returns them to the
+// simulator's freelist: a finished connection leaves no timer garbage
+// behind, which matters for workloads that churn through thousands of
+// connections (the §3 server experiment). Only called once the done flag
+// guards every transmission path.
+func (c *Conn) releaseTimers() {
+	// Clear the flow-control latch first: a late ACK's window update must
+	// not touch the released persist timer (onDataAck only stops it while
+	// fcBlocked holds).
+	c.fcBlocked = false
+	c.persistTimer.Release()
 	for _, sf := range c.subs {
-		sf.stopTimer()
+		sf.rtoTimer.Release()
 	}
 }
 
@@ -281,9 +295,7 @@ func (c *Conn) onDataAck(dataAck, rcvWnd int64) {
 	if c.total != Infinite && !c.done && c.dataUna >= c.total {
 		c.done = true
 		c.doneAt = c.net.Sim.Now()
-		for _, sf := range c.subs {
-			sf.stopTimer()
-		}
+		c.releaseTimers()
 		if c.cfg.OnComplete != nil {
 			c.cfg.OnComplete()
 		}
@@ -315,7 +327,7 @@ func (c *Conn) pump() {
 		sf.trySend()
 	}
 	if c.fcBlocked && !c.persistTimer.Active() && c.idle() {
-		c.persistTimer = c.net.Sim.After(persistInterval, c.persistProbe)
+		c.persistTimer.Reset(persistInterval)
 	}
 }
 
@@ -346,7 +358,7 @@ func (c *Conn) persistProbe() {
 		p.SentAt = c.net.Sim.Now()
 		c.net.Send(sf.fwd, p)
 	}
-	c.persistTimer = c.net.Sim.After(persistInterval, c.persistProbe)
+	c.persistTimer.Reset(persistInterval)
 }
 
 func (c *Conn) String() string {

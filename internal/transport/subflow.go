@@ -74,13 +74,17 @@ const initialRTO = 1 * sim.Second // RFC 6298 §2.1
 const maxRTO = 60 * sim.Second
 
 func newSubflow(c *Conn, id int) *Subflow {
-	return &Subflow{
+	sf := &Subflow{
 		conn: c,
 		id:   id,
 		meta: make([]pktMeta, 256),
 		mask: 255,
 		rto:  initialRTO,
 	}
+	// One owned timer for the life of the subflow, rearmed in place on
+	// every ACK (armTimer) instead of re-created.
+	sf.rtoTimer = c.net.Sim.NewTimer(sf.onRTO)
+	return sf
 }
 
 func (sf *Subflow) cc() *core.Subflow { return &sf.conn.cc[sf.id] }
@@ -187,11 +191,7 @@ func (sf *Subflow) transmit(seq int64, retx bool) {
 	if !sf.rtoTimer.Active() {
 		sf.armTimer()
 	}
-	if at == now {
-		nw.Send(sf.fwd, p)
-	} else {
-		nw.Sim.At(at, func() { nw.Send(sf.fwd, p) })
-	}
+	nw.SendAt(at, sf.fwd, p)
 }
 
 // Receive consumes an ACK delivered by the network (netsim.Endpoint).
@@ -410,17 +410,17 @@ func (sf *Subflow) sampleRTT(rtt sim.Time) {
 }
 
 // armTimer (re)starts the retransmission timer for the oldest outstanding
-// packet, or stops it when nothing is in flight.
+// packet, or stops it when nothing is in flight. The timer is rearmed in
+// place: the per-ACK stop-and-rearm leaves no dead entry in the event
+// queue and allocates nothing.
 func (sf *Subflow) armTimer() {
-	sf.rtoTimer.Stop()
 	if sf.outstanding() == 0 {
+		sf.rtoTimer.Stop()
 		return
 	}
 	d := sf.rto << sf.backoff
 	if d > maxRTO {
 		d = maxRTO
 	}
-	sf.rtoTimer = sf.conn.net.Sim.After(d, sf.onRTO)
+	sf.rtoTimer.Reset(d)
 }
-
-func (sf *Subflow) stopTimer() { sf.rtoTimer.Stop() }
