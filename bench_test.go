@@ -214,3 +214,11 @@ func BenchmarkTournament(b *testing.B) {
 		"mptcp_torus_mbps", "olia_torus_mbps", "balia_torus_mbps", "wvegas_torus_mbps",
 		"mptcp_wifi3g_mbps", "olia_wifi3g_mbps")
 }
+
+// --- scenario-engine dynamics grid ---
+
+func BenchmarkDynamics(b *testing.B) {
+	benchExperiment(b, "dynamics",
+		"mptcp_torus_flap_mbps", "mptcp_wifi3g_handover_mbps",
+		"mptcp_dualhomed_churn_mbps", "olia_torus_ramp_mbps")
+}

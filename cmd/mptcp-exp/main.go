@@ -7,6 +7,7 @@
 //	mptcp-exp -list
 //	mptcp-exp -run fig8-torus [-scale 1.0] [-seed 42]
 //	mptcp-exp -run all [-parallel 8] [-trials 5] [-json]
+//	mptcp-exp -exp dynamics [-scenario handover] [-json]
 //
 // Independent trial cells fan out across -parallel workers (default
 // GOMAXPROCS); results are bit-identical for every worker count. With
@@ -22,6 +23,7 @@ import (
 	"os"
 
 	"mptcp/internal/exp"
+	"mptcp/internal/scenario"
 )
 
 // trialRecord is the JSONL shape emitted by -json, one line per
@@ -37,9 +39,9 @@ type trialRecord struct {
 	Notes   []string           `json:"notes,omitempty"`
 }
 
-// cellRecord is the JSONL shape for grid experiments (the tournament):
-// one line per (algorithm × topology) cell of a trial, replacing that
-// trial's aggregate line.
+// cellRecord is the JSONL shape for grid experiments (tournament,
+// dynamics): one line per grid cell of a trial, replacing that trial's
+// aggregate line. Scenario is set only by scenario-grid experiments.
 type cellRecord struct {
 	ID        string             `json:"id"`
 	Trial     int                `json:"trial"`
@@ -47,19 +49,31 @@ type cellRecord struct {
 	Scale     float64            `json:"scale"`
 	Algorithm string             `json:"algorithm"`
 	Topology  string             `json:"topology"`
+	Scenario  string             `json:"scenario,omitempty"`
 	Metrics   map[string]float64 `json:"metrics"`
 }
 
 func main() {
-	list := flag.Bool("list", false, "list experiments")
+	list := flag.Bool("list", false, "list experiments and scenarios")
 	id := flag.String("run", "", "experiment ID to run (or 'all')")
+	expID := flag.String("exp", "", "alias of -run")
 	seed := flag.Int64("seed", 42, "base random seed")
 	scale := flag.Float64("scale", 1.0, "duration/topology scale (1.0 = paper fidelity)")
 	parallel := flag.Int("parallel", 0, "max concurrent trial cells (0 = GOMAXPROCS)")
 	trials := flag.Int("trials", 1, "repetitions per experiment, base seeds seed..seed+trials-1")
+	scenarioID := flag.String("scenario", "", "restrict the dynamics experiment to one scenario (see -list); cell seeds match the full grid")
 	jsonOut := flag.Bool("json", false, "emit one JSON record per trial instead of rendered reports")
 	benchEngine := flag.String("bench-engine", "", "measure the event engine's packet-hop path and write {events_per_sec, allocs_per_op, ns_per_hop} to FILE")
 	flag.Parse()
+	if *expID != "" {
+		id = expID
+	}
+	if *scenarioID != "" {
+		if _, err := scenario.Build(*scenarioID, 1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if *benchEngine != "" {
 		if err := runEngineBench(*benchEngine); err != nil {
@@ -73,6 +87,10 @@ func main() {
 		fmt.Println("Experiments reproducing Wischik et al., NSDI 2011:")
 		for _, e := range exp.All() {
 			fmt.Printf("  %-24s %-18s %s\n", e.ID, e.Ref, e.Desc)
+		}
+		fmt.Println("\nNetwork-dynamics scenarios (dynamics experiment, -scenario <name>):")
+		for _, s := range scenario.Infos() {
+			fmt.Printf("  %-24s %s\n", s.Name, s.Desc)
 		}
 		return
 	}
@@ -88,7 +106,7 @@ func main() {
 		exps = []*exp.Experiment{e}
 	}
 
-	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel, Scenario: *scenarioID}
 
 	// Stream each trial as soon as it (and its predecessors) finish:
 	// long batches produce output while they run, in deterministic
@@ -111,6 +129,7 @@ func main() {
 						Scale:     tr.Scale,
 						Algorithm: r.Algorithm,
 						Topology:  r.Topology,
+						Scenario:  r.Scenario,
 						Metrics:   r.Metrics,
 					}
 					if err := enc.Encode(cr); err != nil {

@@ -18,9 +18,14 @@
 //   - internal/sim, internal/netsim, internal/transport — the
 //     deterministic packet-level simulator and TCP/MPTCP endpoint models;
 //   - internal/topo, internal/traffic, internal/metrics, internal/model —
-//     the evaluation scenarios, workloads and analysis tools;
+//     the evaluation topologies, workloads and analysis tools;
+//   - internal/scenario — the declarative network-dynamics engine:
+//     named, seedable scripts of link flaps, rate/delay schedules,
+//     background interference and flow churn, runnable against any
+//     topology;
 //   - internal/exp — one registered experiment per table/figure, plus
-//     the cross-topology algorithm tournament;
+//     the cross-topology algorithm tournament and the dynamics grid
+//     (every algorithm × topology × scenario script);
 //   - internal/mptcpnet — a userspace MPTCP-over-UDP stack (§6's
 //     protocol design over real sockets).
 //

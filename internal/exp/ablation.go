@@ -2,6 +2,7 @@ package exp
 
 import (
 	"mptcp/internal/core"
+	"mptcp/internal/scenario"
 	"mptcp/internal/sim"
 	"mptcp/internal/topo"
 	"mptcp/internal/transport"
@@ -146,21 +147,29 @@ func runAblationReinject(cfg Config) *Result {
 			DisableReinject: disable,
 		})
 		c.Start()
-		w.s.At(cell.dur(2*sim.Second), func() { l2.SetDown(true) })
+		// Path death as a declarative scenario (bit-identical to the
+		// closure it replaced; pinned by TestScenarioRewireGolden).
+		death := scenario.Scenario{Name: "path-death", Directives: []scenario.Directive{
+			scenario.LinkDown{Link: 1, At: cell.dur(2 * sim.Second)},
+		}}
+		death.MustInstall(&scenario.Env{Sim: w.s, Net: w.n, Links: []*topo.Duplex{l1, l2}})
 		w.s.RunUntil(cell.dur(120 * sim.Second))
 		name := "reinjection on (§6)"
-		metric := "reinject_done"
+		metric := "reinject"
 		if disable {
 			name = "reinjection off"
-			metric = "noreinject_done"
+			metric = "noreinject"
 		}
 		done, doneMetric := "no", 0.0
 		if c.Done() {
 			done, doneMetric = "yes", 1
 		}
 		return CellResult{
-			Row:     []string{name, done, f0(float64(c.Delivered()))},
-			Metrics: map[string]float64{metric: doneMetric},
+			Row: []string{name, done, f0(float64(c.Delivered()))},
+			Metrics: map[string]float64{
+				metric + "_done": doneMetric,
+				metric + "_pkts": float64(c.Delivered()),
+			},
 		}
 	})
 	Collect(res, &table, cells)

@@ -31,6 +31,11 @@ type Config struct {
 	// RunCells). Zero means runtime.GOMAXPROCS(0); results are
 	// bit-identical for every value.
 	Parallelism int
+	// Scenario restricts scenario-grid experiments (dynamics) to one
+	// named scenario; empty runs the full grid. Filtering never changes
+	// a cell's derived seed — a filtered run reproduces exactly the
+	// corresponding cells of the full grid.
+	Scenario string
 }
 
 func (c Config) norm() Config {
@@ -77,14 +82,18 @@ type Figure struct {
 }
 
 // Record is one machine-readable grid cell of a Result — e.g. one
-// (algorithm × topology) cell of the tournament. Experiments that run a
-// full cross-product attach one Record per cell, in cell order, so
+// (algorithm × topology) cell of the tournament, or one (algorithm ×
+// topology × scenario) cell of the dynamics grid. Experiments that run
+// a full cross-product attach one Record per cell, in cell order, so
 // drivers can emit them individually (cmd/mptcp-exp -json writes one
 // JSONL line per record instead of one aggregate line).
 type Record struct {
 	Algorithm string
 	Topology  string
-	Metrics   map[string]float64
+	// Scenario names the network-dynamics script of the cell; empty for
+	// static-network grids (the tournament).
+	Scenario string
+	Metrics  map[string]float64
 }
 
 // Result is everything an experiment reports.

@@ -111,11 +111,14 @@ func TestCollectKeepsCellOrder(t *testing.T) {
 // experiment produces bit-identical results whether its cells run on one
 // worker or eight, because every cell's randomness derives from
 // CellSeed(base, idx) rather than from scheduling order. The tournament
-// — the largest grid, 8 algorithms × 4 topologies — is covered so the
-// full (algorithm × topology) matrix inherits the guarantee, including
-// its per-cell Records.
+// (8 algorithms × 4 topologies) and the dynamics grid (8 algorithms ×
+// 3 topologies × 4 scenarios — the largest, and the one whose scenario
+// scripts drive timers, churn and background traffic from the world
+// rng) are covered so the full matrices inherit the guarantee,
+// including their per-cell Records. A repeated same-seed parallel run
+// guards against any hidden shared state between cells.
 func TestDeterminismAcrossParallelism(t *testing.T) {
-	for _, id := range []string{"fig8-torus", "sec23-wifi3g-model", "tournament"} {
+	for _, id := range []string{"fig8-torus", "sec23-wifi3g-model", "tournament", "dynamics"} {
 		t.Run(id, func(t *testing.T) {
 			e, ok := Get(id)
 			if !ok {
@@ -129,6 +132,10 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 			}
 			if !reflect.DeepEqual(serial.Records, parallel.Records) {
 				t.Error("per-cell records diverge across parallelism")
+			}
+			again := e.Run(Config{Seed: 5, Scale: 0.02, Parallelism: 8})
+			if !reflect.DeepEqual(parallel.Metrics, again.Metrics) || !reflect.DeepEqual(parallel.Records, again.Records) {
+				t.Error("two same-seed runs diverge (hidden shared state between cells?)")
 			}
 			var sa, sb strings.Builder
 			serial.Render(&sa)

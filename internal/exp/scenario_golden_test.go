@@ -1,0 +1,75 @@
+package exp
+
+import "testing"
+
+// TestScenarioRewireGolden pins metrics captured BEFORE the §5 handover
+// and ablation path-death dynamics were rewired from hand-coded closures
+// onto internal/scenario. The rewire is required to be behaviour-
+// preserving: same seed, bit-identical schedule, bit-identical metrics.
+// If an intentional semantic change ever touches these dynamics,
+// regenerate the literals with
+//
+//	go run ./cmd/mptcp-exp -run fig17-mobility -scale 0.05 -seed 42 -json
+//	go run ./cmd/mptcp-exp -run fig17-mobility -scale 0.1 -seed 7 -json
+//	go run ./cmd/mptcp-exp -run ablation-reinject -scale 0.5 -seed 42 -json
+//
+// and say why in the commit message.
+func TestScenarioRewireGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-experiment golden comparison")
+	}
+	cases := []struct {
+		id     string
+		seed   int64
+		scale  float64
+		golden map[string]float64
+	}{
+		{
+			id: "fig17-mobility", seed: 42, scale: 0.05,
+			golden: map[string]float64{
+				"phase1_mbps": 5.107404255319149,
+				"phase2_mbps": 0.7040000000000001,
+				"phase3_mbps": 2.94,
+			},
+		},
+		{
+			id: "fig17-mobility", seed: 7, scale: 0.1,
+			golden: map[string]float64{
+				"phase1_mbps": 4.991999999999999,
+				"phase2_mbps": 0.7159999999999999,
+				"phase3_mbps": 6.351000000000001,
+			},
+		},
+		{
+			// The delivered-packet counts pin the exact loss/retransmit
+			// schedule around the path death, not just the done flags.
+			id: "ablation-reinject", seed: 42, scale: 0.5,
+			golden: map[string]float64{
+				"reinject_done":   1,
+				"reinject_pkts":   6000,
+				"noreinject_done": 0,
+				"noreinject_pkts": 1049,
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			e, ok := Get(tc.id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", tc.id)
+			}
+			res := e.Run(Config{Seed: tc.seed, Scale: tc.scale})
+			for k, want := range tc.golden {
+				got, ok := res.Metrics[k]
+				if !ok {
+					t.Errorf("metric %s missing", k)
+					continue
+				}
+				if got != want {
+					t.Errorf("metric %s = %v, want golden %v (pre-rewire closures)", k, got, want)
+				}
+			}
+		})
+	}
+}

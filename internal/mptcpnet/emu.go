@@ -36,6 +36,24 @@ func NewEmuPath(conn net.PacketConn, delay time.Duration, loss float64, rateBps 
 	}
 }
 
+// SetLossRate changes the path's loss rate mid-run — the socket-level
+// analogue of a scenario link flap (1.0 = the radio is gone). Safe for
+// concurrent use with WriteTo.
+func (e *EmuPath) SetLossRate(p float64) {
+	e.mu.Lock()
+	e.LossRate = p
+	e.mu.Unlock()
+}
+
+// SetDelay changes the path's one-way delay mid-run (handover to a
+// farther basestation). Packets already written keep the delay that
+// applied at write time. Safe for concurrent use with WriteTo.
+func (e *EmuPath) SetDelay(d time.Duration) {
+	e.mu.Lock()
+	e.Delay = d
+	e.mu.Unlock()
+}
+
 // WriteTo applies loss, serialisation and delay, then forwards the packet.
 func (e *EmuPath) WriteTo(p []byte, addr net.Addr) (int, error) {
 	e.mu.Lock()

@@ -207,9 +207,7 @@ func TestPathDeathReinjection(t *testing.T) {
 	}, Config{}, 60*time.Second, func() {
 		// Kill path 1 shortly after the transfer starts.
 		time.AfterFunc(50*time.Millisecond, func() {
-			emus[1].mu.Lock()
-			emus[1].LossRate = 1.0
-			emus[1].mu.Unlock()
+			emus[1].SetLossRate(1.0)
 		})
 	})
 	if _, _, reinj := tx.Stats(); reinj == 0 {

@@ -90,6 +90,14 @@ func NewLinkPktPerSec(name string, pktPerSec float64, delay sim.Time, queueCap i
 // serialise at the new rate.
 func (l *Link) SetRate(rateMbps float64) { l.RateBps = rateMbps * 1e6 }
 
+// SetDelay changes the propagation delay, modelling a route or radio
+// change mid-run (the §5 handover: a new basestation at a different
+// distance). Packets the link has already accepted keep the delay that
+// applied at acceptance — their arrival events were scheduled when they
+// were enqueued — so an in-flight packet is never retimed; only future
+// arrivals propagate at the new delay.
+func (l *Link) SetDelay(d sim.Time) { l.PropDelay = d }
+
 // SetDown takes the link down (all arrivals dropped) or back up.
 func (l *Link) SetDown(down bool) { l.down = down }
 

@@ -174,6 +174,49 @@ func TestSetRateMidRun(t *testing.T) {
 	}
 }
 
+func TestSetDelayMidRun(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 10*sim.Millisecond, 100) // 1 ms tx per 1500B packet
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 1, 1500) // departs 1 ms, arrives 11 ms
+	s.Run()
+	if dst.times[0] != 11*sim.Millisecond {
+		t.Fatalf("first packet arrived at %v, want 11ms", dst.times[0])
+	}
+	l.SetDelay(2 * sim.Millisecond)
+	sendN(n, r, 1, 1500) // departs now+1ms, arrives 2 ms later
+	s.Run()
+	if got := dst.times[1] - dst.times[0]; got != 3*sim.Millisecond {
+		t.Errorf("post-change packet took %v after the first, want 3ms (1ms tx + 2ms prop)", got)
+	}
+}
+
+// Packets the link has already accepted keep the propagation delay that
+// applied at acceptance: SetDelay must never retime in-flight (queued or
+// propagating) packets.
+func TestSetDelayKeepsInFlightPackets(t *testing.T) {
+	s, n := testNet()
+	l := NewLink("l", 12, 10*sim.Millisecond, 100)
+	dst := &sink{net: n}
+	r := NewRoute(dst, l)
+	sendN(n, r, 2, 1500) // accepted at t=0: depart 1,2 ms; arrive 11,12 ms
+	s.RunUntil(1500 * sim.Microsecond)
+	l.SetDelay(50 * sim.Millisecond) // one propagating, one still queued
+	s.Run()
+	want := []sim.Time{11 * sim.Millisecond, 12 * sim.Millisecond}
+	for i, at := range dst.times {
+		if at != want[i] {
+			t.Errorf("in-flight packet %d arrived at %v, want %v (old delay)", i, at, want[i])
+		}
+	}
+	sendN(n, r, 1, 1500) // accepted after the change: new delay applies
+	s.Run()
+	if got := dst.times[2] - 12*sim.Millisecond; got != 1*sim.Millisecond+50*sim.Millisecond {
+		t.Errorf("post-change packet took %v after the queue drained, want 51ms", got)
+	}
+}
+
 func TestPktPerSecLink(t *testing.T) {
 	s, n := testNet()
 	l := NewLinkPktPerSec("l", 1000, 0, 100)

@@ -52,6 +52,14 @@ func (d *Duplex) SetLossRate(p float64) {
 	d.BA.LossRate = p
 }
 
+// SetDelay changes the propagation delay of both directions; packets
+// already accepted by either direction keep their old delay (see
+// netsim.Link.SetDelay).
+func (d *Duplex) SetDelay(delay sim.Time) {
+	d.AB.SetDelay(delay)
+	d.BA.SetDelay(delay)
+}
+
 // PathThrough builds a transport.Path traversing the duplexes in order
 // (forward over AB, ACKs back over BA in reverse order).
 func PathThrough(ds ...*Duplex) transport.Path {

@@ -29,6 +29,7 @@ type OnOffCBR struct {
 	MeanOff  sim.Time
 
 	on        bool
+	stopped   bool
 	PktsSent  int64
 	sendTimer *sim.Timer
 }
@@ -60,13 +61,28 @@ func (c *OnOffCBR) expDur(mean sim.Time) sim.Time {
 	return d
 }
 
+// Stop ends the on/off cycle permanently: no further packets are sent.
+// Pending cycle events fire as no-ops. Used by scenario directives that
+// bound background interference to a time window.
+func (c *OnOffCBR) Stop() {
+	c.stopped = true
+	c.on = false
+	c.sendTimer.Stop()
+}
+
 func (c *OnOffCBR) turnOn() {
+	if c.stopped {
+		return
+	}
 	c.on = true
 	c.sendNext()
 	c.Net.Sim.After(c.expDur(c.MeanOn), c.turnOff)
 }
 
 func (c *OnOffCBR) turnOff() {
+	if c.stopped {
+		return
+	}
 	c.on = false
 	c.sendTimer.Stop()
 	c.Net.Sim.After(c.expDur(c.MeanOff), c.turnOn)
