@@ -222,3 +222,11 @@ func BenchmarkDynamics(b *testing.B) {
 		"mptcp_torus_flap_mbps", "mptcp_wifi3g_handover_mbps",
 		"mptcp_dualhomed_churn_mbps", "olia_torus_ramp_mbps")
 }
+
+// --- packet-scheduler grid ---
+
+func BenchmarkSchedGrid(b *testing.B) {
+	benchExperiment(b, "schedgrid",
+		"minrtt_mptcp_wifi3g_buf16_mbps", "minrtt+otr+pen_mptcp_wifi3g_buf16_mbps",
+		"redundant_mptcp_torus_buf0_mbps", "blest_mptcp_dualhomed_buf64_mbps")
+}

@@ -8,6 +8,7 @@
 //	mptcp-exp -run fig8-torus [-scale 1.0] [-seed 42]
 //	mptcp-exp -run all [-parallel 8] [-trials 5] [-json]
 //	mptcp-exp -exp dynamics [-scenario handover] [-json]
+//	mptcp-exp -exp schedgrid [-sched minrtt+otr+pen] [-json]
 //
 // Independent trial cells fan out across -parallel workers (default
 // GOMAXPROCS); results are bit-identical for every worker count. With
@@ -24,6 +25,7 @@ import (
 
 	"mptcp/internal/exp"
 	"mptcp/internal/scenario"
+	"mptcp/internal/sched"
 )
 
 // trialRecord is the JSONL shape emitted by -json, one line per
@@ -40,8 +42,11 @@ type trialRecord struct {
 }
 
 // cellRecord is the JSONL shape for grid experiments (tournament,
-// dynamics): one line per grid cell of a trial, replacing that trial's
-// aggregate line. Scenario is set only by scenario-grid experiments.
+// dynamics, schedgrid): one line per grid cell of a trial, replacing
+// that trial's aggregate line. Scenario is set only by scenario-grid
+// experiments; Scheduler and RecvBuf only by scheduler-grid ones. The
+// full field-by-field schema is documented in DESIGN.md §"JSONL record
+// schema".
 type cellRecord struct {
 	ID        string             `json:"id"`
 	Trial     int                `json:"trial"`
@@ -50,6 +55,8 @@ type cellRecord struct {
 	Algorithm string             `json:"algorithm"`
 	Topology  string             `json:"topology"`
 	Scenario  string             `json:"scenario,omitempty"`
+	Scheduler string             `json:"scheduler,omitempty"`
+	RecvBuf   int64              `json:"recv_buf,omitempty"`
 	Metrics   map[string]float64 `json:"metrics"`
 }
 
@@ -62,6 +69,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent trial cells (0 = GOMAXPROCS)")
 	trials := flag.Int("trials", 1, "repetitions per experiment, base seeds seed..seed+trials-1")
 	scenarioID := flag.String("scenario", "", "restrict the dynamics experiment to one scenario (see -list); cell seeds match the full grid")
+	schedSpec := flag.String("sched", "", "restrict the schedgrid experiment to one scheduler spec, e.g. minrtt+otr+pen (see -list); cell seeds match the full grid")
 	jsonOut := flag.Bool("json", false, "emit one JSON record per trial instead of rendered reports")
 	benchEngine := flag.String("bench-engine", "", "measure the event engine's packet-hop path and write {events_per_sec, allocs_per_op, ns_per_hop} to FILE")
 	flag.Parse()
@@ -70,6 +78,12 @@ func main() {
 	}
 	if *scenarioID != "" {
 		if _, err := scenario.Build(*scenarioID, 1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *schedSpec != "" {
+		if _, _, err := sched.Parse(*schedSpec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -92,6 +106,8 @@ func main() {
 		for _, s := range scenario.Infos() {
 			fmt.Printf("  %-24s %s\n", s.Name, s.Desc)
 		}
+		fmt.Println("\nPacket schedulers (schedgrid experiment, -sched <name>[+otr][+pen]):")
+		fmt.Print(sched.Help())
 		return
 	}
 	var exps []*exp.Experiment
@@ -106,7 +122,7 @@ func main() {
 		exps = []*exp.Experiment{e}
 	}
 
-	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel, Scenario: *scenarioID}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel, Scenario: *scenarioID, Sched: *schedSpec}
 
 	// Stream each trial as soon as it (and its predecessors) finish:
 	// long batches produce output while they run, in deterministic
@@ -130,6 +146,8 @@ func main() {
 						Algorithm: r.Algorithm,
 						Topology:  r.Topology,
 						Scenario:  r.Scenario,
+						Scheduler: r.Scheduler,
+						RecvBuf:   r.RecvBuf,
 						Metrics:   r.Metrics,
 					}
 					if err := enc.Encode(cr); err != nil {

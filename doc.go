@@ -15,6 +15,12 @@
 //     the hook-extended contract (OnRTTSample, OnLoss), and the
 //     Linux-kernel successor family: OLIA, BALIA and the delay-based
 //     wVegas;
+//   - internal/sched — the pluggable packet-scheduler registry (the
+//     co-equal axis to congestion control): first-fit, minRTT,
+//     round-robin, cwnd-weighted, redundant and BLEST schedulers, plus
+//     the §6 receive-buffer-blocking countermeasures (opportunistic
+//     retransmission, subflow penalization) as composable options,
+//     shared by both endpoint stacks;
 //   - internal/sim, internal/netsim, internal/transport — the
 //     deterministic packet-level simulator and TCP/MPTCP endpoint models;
 //   - internal/topo, internal/traffic, internal/metrics, internal/model —
@@ -24,13 +30,16 @@
 //     background interference and flow churn, runnable against any
 //     topology;
 //   - internal/exp — one registered experiment per table/figure, plus
-//     the cross-topology algorithm tournament and the dynamics grid
-//     (every algorithm × topology × scenario script);
+//     the cross-topology algorithm tournament, the dynamics grid (every
+//     algorithm × topology × scenario script) and the scheduler grid
+//     (every scheduler spec × algorithm × topology × receive-buffer
+//     constraint);
 //   - internal/mptcpnet — a userspace MPTCP-over-UDP stack (§6's
 //     protocol design over real sockets).
 //
 // Run `go run ./cmd/mptcp-exp -list` for the reproduction index; the
-// algorithm registry is documented in DESIGN.md §2 and the parallel
+// algorithm registry is documented in DESIGN.md §2, the parallel
 // experiment runner with its deterministic seeding scheme in DESIGN.md
-// §4.
+// §4, and the packet-scheduler subsystem in DESIGN.md §8. README.md has
+// the quickstart and the CLI flag reference.
 package mptcp

@@ -36,6 +36,10 @@ type Config struct {
 	// a cell's derived seed — a filtered run reproduces exactly the
 	// corresponding cells of the full grid.
 	Scenario string
+	// Sched restricts scheduler-grid experiments (schedgrid) to one
+	// scheduler spec (e.g. "minrtt+otr+pen"); empty runs the full grid.
+	// Like Scenario, filtering never changes a cell's derived seed.
+	Sched string
 }
 
 func (c Config) norm() Config {
@@ -93,7 +97,15 @@ type Record struct {
 	// Scenario names the network-dynamics script of the cell; empty for
 	// static-network grids (the tournament).
 	Scenario string
-	Metrics  map[string]float64
+	// Scheduler names the packet-scheduler spec of the cell (a
+	// sched.Parse spec such as "minrtt" or "minrtt+otr+pen"); empty for
+	// grids without a scheduler axis.
+	Scheduler string
+	// RecvBuf is the shared receive buffer, in packets, constraining the
+	// cell's multipath flows; 0 means unconstrained (grids without a
+	// buffer axis leave it 0).
+	RecvBuf int64
+	Metrics map[string]float64
 }
 
 // Result is everything an experiment reports.

@@ -1,6 +1,21 @@
-// Package metrics provides measurement utilities for the simulation
-// experiments: periodic sampling into time series, throughput conversion,
-// rank distributions and basic summary statistics.
+// Package metrics provides the measurement utilities the experiments in
+// internal/exp build their tables and figures from:
+//
+//   - Series, a sampled time series with mean/warm-up helpers and a
+//     Rate derivative (per-interval deltas);
+//   - Sampler, which probes named quantities (cwnd, delivered packets,
+//     link stats) on a fixed simulated-time tick, driving one
+//     rearm-in-place sim.Timer so sampling stays off the allocation
+//     hot path;
+//   - conversions (ThroughputMbps, PktPerSec) pinned to the 1500-byte
+//     data-packet size the paper's wired figures use;
+//   - order statistics (Rank, Percentile) for the §4 distribution
+//     plots, plus Sum/Mean/Stddev and the fixed-width Fmt used by the
+//     rendered report tables.
+//
+// Everything is computation over values the caller snapshots; nothing
+// here touches simulation state or global clocks, so metrics code is
+// safe in the parallel runner's concurrently executing cells.
 package metrics
 
 import (

@@ -1,13 +1,18 @@
 // Package model provides the analytic throughput models the paper uses to
 // reason about multipath congestion control: the √(2/p) TCP window
-// formula, closed-form equilibria for EWTCP/COUPLED/SEMICOUPLED, a fluid
-// (expected-drift) equilibrium solver for arbitrary algorithms, and
-// checkers for the two fairness goals of §2.5.
+// formula (eq. 2), closed-form equilibria for EWTCP/COUPLED/SEMICOUPLED,
+// a fluid (expected-drift) Equilibrium solver for arbitrary
+// core.Algorithm implementations, Jain's fairness index, and checkers
+// for the two fairness goals of §2.5 (GoalThroughput: do at least as
+// well as a TCP on the best path; GoalNoHarm: take no more from any
+// link than a single TCP would).
 //
 // The solver treats loss rates as fixed and exogenous, exactly as in the
 // paper's §2.3 worked example (WiFi at 4 %, 3G at 1 %); the packet-level
 // simulator in internal/netsim is used when losses must emerge from queue
-// dynamics.
+// dynamics. Experiments cross-check the two: the sec23-wifi3g-model
+// experiment pits this package's predictions against the simulated
+// stack.
 package model
 
 import (

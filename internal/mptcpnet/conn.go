@@ -11,26 +11,21 @@ import (
 
 	"mptcp/internal/cc"
 	"mptcp/internal/core"
-)
-
-// Scheduler selects which subflow sends the next data segment when
-// several have window space.
-type Scheduler int
-
-const (
-	// SchedLowestRTT prefers the subflow with the smallest smoothed RTT
-	// (the Linux MPTCP default).
-	SchedLowestRTT Scheduler = iota
-	// SchedRoundRobin rotates across subflows — the ablation baseline.
-	SchedRoundRobin
+	"mptcp/internal/sched"
 )
 
 // Config parameterises a sender.
 type Config struct {
 	// Alg is the coupled congestion controller; defaults to &core.MPTCP{}.
 	Alg core.Algorithm
-	// Scheduler picks the subflow for each new segment.
-	Scheduler Scheduler
+	// Sched picks the subflow for each new segment (any scheduler from
+	// internal/sched's registry); defaults to minRTT, the Linux MPTCP
+	// default and this stack's historical behaviour.
+	Sched sched.Scheduler
+	// SchedOpts enables the §6 receive-buffer-blocking countermeasures
+	// (opportunistic retransmission, subflow penalization); both default
+	// off.
+	SchedOpts sched.Options
 	// MinRTO bounds the retransmission timer (default 200 ms).
 	MinRTO time.Duration
 	// Logf, if set, receives debug traces.
@@ -52,6 +47,22 @@ type Sender struct {
 	rttObs  cc.RTTObserver
 	lossObs cc.LossObserver
 
+	// Scheduler state (all used with mu held): the configured scheduler,
+	// whether it duplicates segments across subflows (resolved once,
+	// like the cc hooks), and a scratch View slice rebuilt per pick.
+	sched     sched.Scheduler
+	redundant bool
+	views     []sched.View
+	// dupNxt is the redundant scheduler's per-subflow replay frontier:
+	// the next data sequence subflow i should (re)carry. Nil unless the
+	// scheduler duplicates.
+	dupNxt []int64
+
+	// oppSeq remembers the last data sequence opportunistically
+	// retransmitted, so each receive-buffer-blocking segment is re-sent
+	// at most once (§6 countermeasures).
+	oppSeq int64
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	cc         []core.Subflow
@@ -68,10 +79,12 @@ type Sender struct {
 	done       chan struct{} // closed once the stream is fully acknowledged
 	doneClosed bool
 
-	// Stats, guarded by mu; read via Stats().
+	// Stats, guarded by mu; read via Stats() and SchedStats().
 	segsSent  int64
 	segsRetx  int64
 	reinjects int64
+	oppRetx   int64
+	penalties int64
 }
 
 type sendSubflow struct {
@@ -97,6 +110,10 @@ type sendSubflow struct {
 	timer             *time.Timer
 	timerOn           bool
 	start             time.Time
+
+	// nextPenalty rate-limits receive-buffer penalization (§6) to once
+	// per RTT on this subflow. Guarded by the parent's mu.
+	nextPenalty time.Time
 
 	rng *rand.Rand
 }
@@ -137,6 +154,9 @@ func NewSender(connID uint64, conns []net.PacketConn, remotes []net.Addr, cfg Co
 	if cfg.Alg == nil {
 		cfg.Alg = &core.MPTCP{}
 	}
+	if cfg.Sched == nil {
+		cfg.Sched = sched.MinRTT{}
+	}
 	if cfg.MinRTO <= 0 {
 		cfg.MinRTO = 200 * time.Millisecond
 	}
@@ -144,12 +164,21 @@ func NewSender(connID uint64, conns []net.PacketConn, remotes []net.Addr, cfg Co
 		cfg:    cfg,
 		connID: connID,
 		alg:    cfg.Alg,
+		sched:  cfg.Sched,
 		segs:   make(map[int64][]byte),
 		edge:   defaultWindow,
 		done:   make(chan struct{}),
+		oppSeq: -1,
 	}
 	s.rttObs, _ = s.alg.(cc.RTTObserver)
 	s.lossObs, _ = s.alg.(cc.LossObserver)
+	if d, ok := s.sched.(sched.Duplicator); ok {
+		s.redundant = d.Duplicates()
+	}
+	if s.redundant {
+		s.dupNxt = make([]int64, len(conns))
+	}
+	s.views = make([]sched.View, len(conns))
 	s.cond = sync.NewCond(&s.mu)
 	now := time.Now()
 	for i := range conns {
@@ -304,6 +333,16 @@ func (s *Sender) Stats() (sent, retx, reinjects int64) {
 	return s.segsSent, s.segsRetx, s.reinjects
 }
 
+// SchedStats returns the receive-buffer countermeasure counters (§6):
+// opportunistic retransmissions of a blocking segment onto a faster
+// subflow, and penalization window halvings of the blocking subflow.
+// Both stay 0 unless Config.SchedOpts enables the countermeasures.
+func (s *Sender) SchedStats() (oppRetx, penalties int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.oppRetx, s.penalties
+}
+
 // SubflowSent returns the count of segments assigned to subflow i.
 func (s *Sender) SubflowSent(i int) int64 {
 	s.mu.Lock()
@@ -341,8 +380,14 @@ func (s *Sender) popDataLocked() (seq int64, fin bool, ok bool) {
 }
 
 // pumpLocked lets every subflow with window space transmit, in scheduler
-// order — the paper's striping across subflows as windows open.
+// order — the paper's striping across subflows as windows open. When the
+// shared receive buffer blocks further assignment, the §6
+// countermeasures (if enabled) are applied before giving up.
 func (s *Sender) pumpLocked() {
+	if s.redundant {
+		s.pumpRedundantLocked()
+		return
+	}
 	for {
 		sf := s.pickLocked()
 		if sf == nil {
@@ -350,45 +395,176 @@ func (s *Sender) pumpLocked() {
 		}
 		seq, fin, ok := s.popDataLocked()
 		if !ok {
+			s.rbufCountermeasuresLocked()
 			return
 		}
 		if fin {
 			s.finSent = true
-			sf.sendFin()
+			s.sendFinLocked()
 			return
 		}
 		sf.sendData(seq)
 	}
 }
 
-// pickLocked returns the schedulable subflow preferred by the configured
-// scheduler, or nil.
-func (s *Sender) pickLocked() *sendSubflow {
-	var best *sendSubflow
-	for _, sf := range s.subs {
-		w := int64(s.cc[sf.id].Cwnd)
-		if w < 1 {
-			w = 1
-		}
-		if sf.sndNxt-sf.sndUna >= w || sf.inRec {
-			continue
-		}
-		if best == nil {
-			best = sf
-			continue
-		}
-		switch s.cfg.Scheduler {
-		case SchedRoundRobin:
-			if sf.sndNxt < best.sndNxt {
-				best = sf
+// pumpRedundantLocked drives the redundant scheduler: every subflow
+// keeps its own replay frontier (dupNxt) over the data stream and,
+// window permitting, carries every data sequence itself — the subflow
+// furthest ahead pulls new data, the others replay it. Frontiers skip
+// data the receiver already holds (below dataUna), so a subflow that
+// fell behind replays only the still-unacknowledged window, like
+// Linux's mptcp_redundant; later copies count as duplicate data at the
+// receiver and consume no shared buffer.
+func (s *Sender) pumpRedundantLocked() {
+	for progress := true; progress; {
+		progress = false
+		for i, sf := range s.subs {
+			if !s.spaceLocked(sf) {
+				continue
 			}
-		default: // SchedLowestRTT
-			if sf.srtt > 0 && (best.srtt == 0 || sf.srtt < best.srtt) {
-				best = sf
+			if s.dupNxt[i] < s.dataUna {
+				s.dupNxt[i] = s.dataUna
+			}
+			if s.dupNxt[i] < s.dataNxt {
+				if _, have := s.segs[s.dupNxt[i]]; have {
+					sf.sendData(s.dupNxt[i])
+				}
+				s.dupNxt[i]++
+				progress = true
+				continue
+			}
+			seq, fin, ok := s.popDataLocked()
+			if !ok {
+				continue
+			}
+			if fin {
+				s.finSent = true
+				s.sendFinLocked()
+				return
+			}
+			sf.sendData(seq)
+			if seq+1 > s.dupNxt[i] {
+				s.dupNxt[i] = seq + 1
+			}
+			progress = true
+		}
+	}
+}
+
+// spaceLocked reports whether sf may carry a new segment: window room
+// and not in fast recovery.
+func (s *Sender) spaceLocked(sf *sendSubflow) bool {
+	w := int64(s.cc[sf.id].Cwnd)
+	if w < 1 {
+		w = 1
+	}
+	return sf.sndNxt-sf.sndUna < w && !sf.inRec
+}
+
+// pickLocked dispatches the subflow choice to the configured scheduler
+// over a scratch View slice, or nil when the scheduler declines.
+func (s *Sender) pickLocked() *sendSubflow {
+	for i, sf := range s.subs {
+		s.views[i] = sched.View{
+			Cwnd:     s.cc[i].Cwnd,
+			Inflight: sf.sndNxt - sf.sndUna,
+			SRTT:     sf.srtt.Seconds(),
+			Sendable: !sf.inRec,
+			Sent:     sf.sndNxt,
+		}
+	}
+	i := s.sched.Pick(sched.Ctx{Window: s.edge - s.dataNxt}, s.views)
+	if i < 0 {
+		return nil
+	}
+	return s.subs[i]
+}
+
+// rbufCountermeasuresLocked applies the paper's §6 remedies when the
+// shared receive buffer has blocked assignment (data queued but
+// dataNxt at the flow-control edge): opportunistically retransmit the
+// blocking segment — the data-level cumulative ack, parked on a slow
+// subflow — on the fastest other subflow with window space (once per
+// blocking segment), and halve the blocking subflow's congestion
+// window, at most once per its RTT. No-ops unless Config.SchedOpts
+// enables the countermeasures.
+func (s *Sender) rbufCountermeasuresLocked() {
+	if !s.cfg.SchedOpts.Any() || len(s.subs) < 2 {
+		return
+	}
+	if (len(s.sendBuf) == 0 && len(s.reinj) == 0) || s.dataNxt < s.edge {
+		return // app-limited, not flow-control-blocked
+	}
+	if _, have := s.segs[s.dataUna]; !have {
+		return // blocking segment already delivered; ACK in flight
+	}
+	// Gate before the blocker scan: while the connection stays blocked
+	// on the same segment, every ACK re-enters here, and once the
+	// opportunistic retransmission is spent and every penalty backoff is
+	// still running there is nothing left to do this round trip.
+	now := time.Now()
+	needOpp := s.cfg.SchedOpts.OpportunisticRetx && s.oppSeq != s.dataUna
+	needPen := false
+	if s.cfg.SchedOpts.Penalize {
+		for _, sf := range s.subs {
+			if !now.Before(sf.nextPenalty) {
+				needPen = true
+				break
 			}
 		}
 	}
-	return best
+	if !needOpp && !needPen {
+		return
+	}
+	blocker := s.findBlockerLocked()
+	if blocker == nil {
+		return
+	}
+	if s.cfg.SchedOpts.Penalize && !now.Before(blocker.nextPenalty) {
+		cw := &s.cc[blocker.id]
+		if cw.Cwnd > 1 {
+			cw.Cwnd /= 2
+			if cw.Cwnd < 1 {
+				cw.Cwnd = 1
+			}
+			cw.SSThresh = cw.Cwnd
+			s.penalties++
+		}
+		d := blocker.srtt
+		if d <= 0 {
+			d = s.cfg.MinRTO
+		}
+		blocker.nextPenalty = now.Add(d)
+	}
+	if needOpp {
+		for i, sf := range s.subs {
+			s.views[i] = sched.View{
+				Cwnd:     s.cc[i].Cwnd,
+				Inflight: sf.sndNxt - sf.sndUna,
+				SRTT:     sf.srtt.Seconds(),
+				Sendable: !sf.inRec,
+			}
+		}
+		if best := sched.PickMinRTT(s.views, blocker.id); best >= 0 {
+			s.subs[best].sendData(s.dataUna)
+			s.oppSeq = s.dataUna
+			s.oppRetx++
+		}
+	}
+}
+
+// findBlockerLocked returns the subflow holding the un-delivered
+// segment the receive window is stuck on (dataSeq == dataUna,
+// outstanding and not SACKed), or nil.
+func (s *Sender) findBlockerLocked() *sendSubflow {
+	for _, sf := range s.subs {
+		for _, m := range sf.meta {
+			if !m.sacked && m.dataSeq == s.dataUna {
+				return sf
+			}
+		}
+	}
+	return nil
 }
 
 func (s *Sender) logf(format string, args ...any) {
@@ -483,24 +659,16 @@ func (sf *sendSubflow) writeLoop() {
 	}
 }
 
-func (sf *sendSubflow) sendFin() {
-	s := sf.parent
-	h := header{
-		Type:    typeFin,
-		Subflow: uint16(sf.id),
-		ConnID:  s.connID,
-		Aux:     s.dataNxt,
-		Echo:    sf.elapsedMicros(),
-	}
-	buf := make([]byte, headerSize)
-	h.marshal(buf)
-	if !sf.queueWrite(buf) {
-		// The writer is backlogged or already gone. The FIN carries no
-		// sequence-space ordering constraint, and it is the one segment
-		// whose silent loss the data machinery cannot recover (the
-		// receiver would never see EOF), so bypass the queue rather than
-		// drop it. Bounded: at most one such write per retry tick.
-		go sf.conn.WriteTo(buf, sf.remote) //nolint:errcheck // lossy path semantics
+// sendFinLocked broadcasts the FIN on every subflow and arms the retry
+// chain. Broadcasting matters: the FIN is the one segment whose silent
+// loss the data machinery cannot recover (the receiver would never see
+// EOF), the retry chain stops as soon as the data stream is fully
+// acknowledged, and a FIN bound to a single subflow dies with that
+// path. Sending it on all subflows makes EOF delivery as reliable as
+// the best live path; the receiver treats repeated FINs idempotently.
+func (s *Sender) sendFinLocked() {
+	for _, sf := range s.subs {
+		sf.transmitFin()
 	}
 	// Retransmit the FIN (with exponential backoff) until everything is
 	// acked. The chain is gated on done so it terminates as soon as the
@@ -527,8 +695,29 @@ func (sf *sendSubflow) sendFin() {
 			s.abortLocked(errors.New("mptcpnet: FIN unacknowledged after retries, giving up"))
 			return
 		}
-		sf.sendFin()
+		s.sendFinLocked()
 	})
+}
+
+// transmitFin puts one FIN on this subflow's wire.
+func (sf *sendSubflow) transmitFin() {
+	s := sf.parent
+	h := header{
+		Type:    typeFin,
+		Subflow: uint16(sf.id),
+		ConnID:  s.connID,
+		Aux:     s.dataNxt,
+		Echo:    sf.elapsedMicros(),
+	}
+	buf := make([]byte, headerSize)
+	h.marshal(buf)
+	if !sf.queueWrite(buf) {
+		// The writer is backlogged or already gone: bypass the queue
+		// rather than drop the FIN (it carries no sequence-space
+		// ordering constraint). Bounded: at most one such write per
+		// subflow per retry tick.
+		go sf.conn.WriteTo(buf, sf.remote) //nolint:errcheck // lossy path semantics
+	}
 }
 
 func (s *Sender) finishedLockedFin() bool {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mptcp/internal/cc"
+	"mptcp/internal/sched"
 )
 
 // pipePair builds one emulated UDP path on loopback and returns the
@@ -185,7 +186,7 @@ func TestSchedulerRoundRobin(t *testing.T) {
 	// scheduler's balance is observable.
 	_, rx := transfer(t, 300<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
 		return pipePair(t, time.Millisecond, 0, 10e6, 400+int64(i))
-	}, Config{Scheduler: SchedRoundRobin}, 30*time.Second)
+	}, Config{Sched: sched.RoundRobin{}}, 30*time.Second)
 	// Round robin on identical paths should split roughly evenly.
 	a, b := float64(rx.SubflowReceived(0)), float64(rx.SubflowReceived(1))
 	if a == 0 || b == 0 {

@@ -1,0 +1,99 @@
+package mptcpnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"mptcp/internal/sched"
+)
+
+// TestSchedulersOverSockets: every registered scheduler must complete a
+// two-path transfer over real sockets — the registry wiring, not the
+// policies themselves, is under test here.
+func TestSchedulersOverSockets(t *testing.T) {
+	for si, name := range sched.Names() {
+		si, name := si, name
+		t.Run(name, func(t *testing.T) {
+			transfer(t, 100<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+				return pipePair(t, time.Duration(1+10*i)*time.Millisecond, 0, 10e6, int64(2000+10*si+i))
+			}, Config{Sched: sched.MustNew(name)}, 60*time.Second)
+		})
+	}
+}
+
+// TestRedundantSurvivesDeadPathOverSockets: with path 1 dropping every
+// packet from the start, the redundant scheduler still completes the
+// transfer through path 0 — every segment rides every subflow, so a
+// dead path never strands the stream (no reliance on RTO reinjection).
+func TestRedundantSurvivesDeadPathOverSockets(t *testing.T) {
+	tx, rx := transfer(t, 100<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+		loss := 0.0
+		if i == 1 {
+			loss = 1.0
+		}
+		return pipePair(t, time.Millisecond, loss, 10e6, int64(3000+i))
+	}, Config{Sched: sched.Redundant{}}, 60*time.Second)
+	if rx.SubflowReceived(0) == 0 {
+		t.Error("the live path delivered nothing")
+	}
+	if sent, _, _ := tx.Stats(); sent == 0 {
+		t.Error("sender reported no segments")
+	}
+}
+
+// TestCountermeasuresOverSockets: a 64-segment shared receive buffer —
+// matching the sender's conservative initial window, so the buffer
+// limit is felt as flow control rather than overflow — over one fast
+// and one slow, rate-limited path. Early in slow start the scheduler
+// parks segments on the slow subflow; the buffer then blocks behind
+// them, and with SchedOpts enabled the sender must detect the blocking,
+// fire the countermeasures and still complete the transfer.
+func TestCountermeasuresOverSockets(t *testing.T) {
+	var sConns, rConns []net.PacketConn
+	var remotes []net.Addr
+	for i := 0; i < 2; i++ {
+		delay, rate := time.Millisecond, 20e6
+		if i == 1 {
+			delay, rate = 60*time.Millisecond, 1e6 // slow, easily backlogged
+		}
+		s, r, ra := pipePair(t, delay, 0, rate, int64(4000+i))
+		sConns = append(sConns, s)
+		rConns = append(rConns, r)
+		remotes = append(remotes, ra)
+	}
+	const connID = 41
+	rx := NewReceiver(connID, rConns, 64)
+	tx := NewSender(connID, sConns, remotes, Config{
+		Sched:     sched.MinRTT{},
+		SchedOpts: sched.Options{OpportunisticRetx: true, Penalize: true},
+	})
+	data := make([]byte, 200<<10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	go func() {
+		tx.Write(data) //nolint:errcheck
+		tx.Close()
+	}()
+	buf := make([]byte, 64<<10)
+	got := 0
+	deadline := time.Now().Add(60 * time.Second)
+	for got < len(data) {
+		if time.Now().After(deadline) {
+			t.Fatalf("transfer stalled at %d/%d", got, len(data))
+		}
+		n, err := rx.Read(buf)
+		got += n
+		if err != nil {
+			break
+		}
+	}
+	if got != len(data) {
+		t.Fatalf("got %d bytes, want %d", got, len(data))
+	}
+	oppRetx, penalties := tx.SchedStats()
+	if oppRetx == 0 && penalties == 0 {
+		t.Error("neither countermeasure fired under a blocking shared buffer")
+	}
+}

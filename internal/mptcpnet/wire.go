@@ -12,7 +12,12 @@
 //   - data-level reinjection after a subflow timeout, so a dead path
 //     cannot strand the stream;
 //   - coupled congestion control from internal/core — the identical
-//     algorithm code that drives the packet-level simulator.
+//     algorithm code that drives the packet-level simulator;
+//   - pluggable packet scheduling from internal/sched (minRTT by
+//     default, the Linux MPTCP choice) plus the §6 receive-buffer-
+//     blocking countermeasures — opportunistic retransmission and
+//     subflow penalization — as composable Config options, shared with
+//     the simulator stack.
 //
 // The package substitutes for the paper's Linux kernel implementation:
 // real multihomed interfaces are replaced by multiple UDP 5-tuples

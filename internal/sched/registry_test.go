@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// wantNames is the canonical catalogue in presentation order.
+var wantNames = []string{"firstfit", "minrtt", "roundrobin", "wcwnd", "redundant", "blest"}
+
+func TestNamesOrder(t *testing.T) {
+	if got := Names(); !reflect.DeepEqual(got, wantNames) {
+		t.Errorf("Names() = %v, want %v", got, wantNames)
+	}
+}
+
+func TestNewByCanonicalName(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, s.Name())
+		}
+	}
+}
+
+func TestLookupIsCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"MinRTT", " MINRTT ", "RR", "rr", "Stripe", "dup", "BLEST", "Weighted"} {
+		if _, err := New(name); err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+}
+
+func TestAliasesResolveToCanonical(t *testing.T) {
+	for alias, want := range map[string]string{"rr": "roundrobin", "dup": "redundant", "stripe": "firstfit", "lowrtt": "minrtt", "default": "minrtt"} {
+		info, ok := Lookup(alias)
+		if !ok || info.Name != want {
+			t.Errorf("Lookup(%q) = (%v, %v), want canonical %q", alias, info.Name, ok, want)
+		}
+		s, err := New(alias)
+		if err != nil || s.Name() != want {
+			t.Errorf("New(%q) = (%v, %v), want scheduler %q", alias, s, err, want)
+		}
+	}
+}
+
+func TestUnknownNameListsCatalogue(t *testing.T) {
+	_, err := New("bogus")
+	if err == nil {
+		t.Fatal("New(bogus) should fail")
+	}
+	if !strings.Contains(err.Error(), "minrtt") || !strings.Contains(err.Error(), "blest") {
+		t.Errorf("error should list the catalogue, got: %v", err)
+	}
+}
+
+func TestInfoMetadataComplete(t *testing.T) {
+	infos := Infos()
+	if len(infos) != len(wantNames) {
+		t.Fatalf("Infos() has %d entries, want %d", len(infos), len(wantNames))
+	}
+	for _, info := range infos {
+		if info.Desc == "" || info.Ref == "" {
+			t.Errorf("%s: metadata incomplete: %+v", info.Name, info)
+		}
+		if got := info.Redundant; got != (info.Name == "redundant") {
+			t.Errorf("%s: Redundant = %v", info.Name, got)
+		}
+	}
+	help := Help()
+	for _, name := range wantNames {
+		if !strings.Contains(help, name) {
+			t.Errorf("Help() misses %s", name)
+		}
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+		opts Options
+	}{
+		{"minrtt", "minrtt", Options{}},
+		{"minrtt+otr", "minrtt", Options{OpportunisticRetx: true}},
+		{"MinRTT+PEN", "minrtt", Options{Penalize: true}},
+		{"minrtt+otr+pen", "minrtt", Options{OpportunisticRetx: true, Penalize: true}},
+		{"rr+pen+otr", "roundrobin", Options{OpportunisticRetx: true, Penalize: true}},
+		{"redundant", "redundant", Options{}},
+	}
+	for _, tc := range cases {
+		s, opts, err := Parse(tc.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.spec, err)
+		}
+		if s.Name() != tc.name || opts != tc.opts {
+			t.Errorf("Parse(%q) = (%s, %+v), want (%s, %+v)", tc.spec, s.Name(), opts, tc.name, tc.opts)
+		}
+	}
+	for _, bad := range []string{"minrtt+bogus", "nope+otr", "+otr"} {
+		if _, _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCanonicalNormalisesSpecs(t *testing.T) {
+	for spec, want := range map[string]string{
+		"RR":             "roundrobin",
+		"MinRTT+pen+otr": "minrtt+otr+pen",
+		"dup":            "redundant",
+		"minrtt+otr+pen": "minrtt+otr+pen",
+	} {
+		got, err := Canonical(spec)
+		if err != nil || got != want {
+			t.Errorf("Canonical(%q) = (%q, %v), want %q", spec, got, err, want)
+		}
+	}
+	if _, err := Canonical("bogus+otr"); err == nil {
+		t.Error("Canonical(bogus+otr) should fail")
+	}
+}
+
+func TestOptionsStringRoundTrips(t *testing.T) {
+	for _, o := range []Options{{}, {OpportunisticRetx: true}, {Penalize: true}, {OpportunisticRetx: true, Penalize: true}} {
+		spec := "minrtt" + o.String()
+		_, got, err := Parse(spec)
+		if err != nil || got != o {
+			t.Errorf("Parse(%q) = (%+v, %v), want %+v", spec, got, err, o)
+		}
+	}
+}

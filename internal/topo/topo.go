@@ -1,11 +1,16 @@
 // Package topo builds the network topologies of the paper's evaluation:
-// ad-hoc wired scenarios (§2, §3, §5), the five-link torus of Fig. 7, the
-// WiFi/3G wireless client of §5, and the FatTree and BCube data centres
-// of §4.
+// ad-hoc wired scenarios (§2, §3, §5), the five-link torus of Fig. 7,
+// the dual-homed server of §3, the WiFi/3G wireless client of §5, and
+// the FatTree and BCube data centres of §4.
 //
 // All topologies are expressed as directed netsim.Links assembled into
 // transport.Paths. A Duplex is the basic building block: a pair of
-// directed links with identical properties.
+// directed links with identical properties, mutable mid-run (SetDown,
+// SetDelay, SetLossRate) so the scenario engine in
+// internal/scenario can script outages, handovers and rate ramps over
+// any topology. The experiment grids (tournament, dynamics, schedgrid)
+// reference each topology's scriptable links by index in the order the
+// topology documents.
 package topo
 
 import (

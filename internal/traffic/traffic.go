@@ -1,7 +1,16 @@
 // Package traffic provides the workload generators used in the paper's
 // evaluation: on/off constant-bit-rate interference (§3, Fig. 9), Poisson
 // flow arrivals with Pareto-distributed sizes (§3's server experiment),
-// and the data-centre traffic patterns TP1/TP2/TP3 of §4.
+// and the data-centre traffic patterns TP1/TP2/TP3 of §4 (permutation
+// and sparse matrices over a host set).
+//
+// Generators draw all randomness from the rand.Rand the caller passes —
+// in experiments, one derived from the cell seed — and drive
+// transmission off rearm-in-place sim.Timers, so workloads are exactly
+// as reproducible as the world that hosts them and safe to build inside
+// the parallel runner's concurrent cells. The scenario engine's
+// BackgroundCBR and FlowChurn directives are thin wrappers over this
+// package.
 package traffic
 
 import (

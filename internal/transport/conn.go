@@ -10,6 +10,14 @@
 // MPTCP all share identical loss detection, exactly as in the paper's
 // Linux implementation.
 //
+// New data is assigned to subflows by a pluggable packet scheduler from
+// internal/sched (default: the historical first-fit striping; minRTT,
+// round-robin, cwnd-weighted, redundant and BLEST are registered), and
+// the §6 receive-buffer-blocking countermeasures — opportunistic
+// retransmission and subflow penalization — compose with any scheduler
+// via Config.SchedOpts. Loss-recovery transmissions never go through
+// the scheduler.
+//
 // The protocol model follows §6 of the paper:
 //
 //   - separate sequence spaces: per-subflow sequence numbers for loss
@@ -33,6 +41,7 @@ import (
 	"mptcp/internal/cc"
 	"mptcp/internal/core"
 	"mptcp/internal/netsim"
+	"mptcp/internal/sched"
 	"mptcp/internal/sim"
 )
 
@@ -51,6 +60,19 @@ type Config struct {
 	// Alg is the congestion-avoidance algorithm. Defaults to
 	// &core.MPTCP{} for multiple paths and core.Regular{} for one.
 	Alg core.Algorithm
+
+	// Sched assigns new data segments to subflows. Defaults to
+	// sched.FirstFit — fill subflows in configuration order, the
+	// historical striping of this stack (and of the paper's "stripes
+	// packets across these subflows as space in the subflow windows
+	// becomes available"). Loss-recovery transmissions never go through
+	// the scheduler.
+	Sched sched.Scheduler
+
+	// SchedOpts enables the §6 receive-buffer-blocking countermeasures
+	// (opportunistic retransmission, subflow penalization); both default
+	// off.
+	SchedOpts sched.Options
 
 	// Paths lists one Path per subflow; at least one is required.
 	Paths []Path
@@ -105,6 +127,28 @@ type Conn struct {
 	// assertion: nil when the algorithm does not implement them.
 	rttObs  cc.RTTObserver
 	lossObs cc.LossObserver
+
+	// Scheduler state: the configured scheduler, whether it duplicates
+	// segments (resolved once, like the cc hooks), and a scratch View
+	// slice reused across pumps so the per-ACK path allocates nothing.
+	sched     sched.Scheduler
+	redundant bool
+	views     []sched.View
+	// dupNxt is the redundant scheduler's per-subflow replay frontier:
+	// the next data sequence subflow i should (re)carry. Nil unless the
+	// scheduler duplicates.
+	dupNxt []int64
+
+	// Receive-buffer countermeasure state (§6): oppRetxSeq remembers the
+	// last data sequence opportunistically retransmitted so each blocking
+	// segment is re-sent at most once.
+	oppRetxSeq int64
+
+	// OppRetx counts opportunistic retransmissions; Penalties counts
+	// subflow-penalization window halvings (both 0 unless SchedOpts
+	// enables the countermeasures).
+	OppRetx   int64
+	Penalties int64
 
 	dataNxt   int64 // next new data sequence number to assign
 	dataUna   int64 // cumulative data-level acknowledgment
@@ -161,16 +205,28 @@ func NewConn(nw *netsim.Net, cfg Config) *Conn {
 	case cfg.SendJitter < 0:
 		cfg.SendJitter = 0
 	}
+	if cfg.Sched == nil {
+		cfg.Sched = sched.FirstFit{}
+	}
 	c := &Conn{
-		ID:       int(nextConnID.Add(1)),
-		net:      nw,
-		cfg:      cfg,
-		alg:      cfg.Alg,
-		total:    cfg.DataPackets,
-		dataEdge: cfg.RecvBuf,
+		ID:         int(nextConnID.Add(1)),
+		net:        nw,
+		cfg:        cfg,
+		alg:        cfg.Alg,
+		total:      cfg.DataPackets,
+		dataEdge:   cfg.RecvBuf,
+		sched:      cfg.Sched,
+		oppRetxSeq: -1,
 	}
 	c.rttObs, _ = c.alg.(cc.RTTObserver)
 	c.lossObs, _ = c.alg.(cc.LossObserver)
+	if d, ok := c.sched.(sched.Duplicator); ok {
+		c.redundant = d.Duplicates()
+	}
+	if c.redundant {
+		c.dupNxt = make([]int64, len(cfg.Paths))
+	}
+	c.views = make([]sched.View, len(cfg.Paths))
 	c.persistTimer = nw.Sim.NewTimer(c.persistProbe)
 	n := len(cfg.Paths)
 	c.cc = make([]core.Subflow, n)
@@ -316,19 +372,197 @@ func (c *Conn) reinject(dataSeqs []int64) {
 	}
 }
 
-// pump lets every subflow transmit while its window and the connection's
-// data supply allow — the paper's "stripes packets across these subflows
-// as space in the subflow windows becomes available".
+// pump drives transmission: loss-recovery repairs first (per subflow,
+// in configuration order — they are not scheduling decisions), then new
+// data assigned by the configured scheduler, then, if the shared
+// receive buffer blocked the sender, the §6 countermeasures. With the
+// default FirstFit scheduler this reproduces the paper's "stripes
+// packets across these subflows as space in the subflow windows becomes
+// available" bit for bit.
 func (c *Conn) pump() {
 	if !c.started || c.done {
 		return
 	}
 	for _, sf := range c.subs {
-		sf.trySend()
+		sf.sendRepairs()
 	}
-	if c.fcBlocked && !c.persistTimer.Active() && c.idle() {
-		c.persistTimer.Reset(persistInterval)
+	c.schedule()
+	if c.fcBlocked {
+		c.rbufCountermeasures()
+		if !c.persistTimer.Active() && c.idle() {
+			c.persistTimer.Reset(persistInterval)
+		}
 	}
+}
+
+// schedule assigns new data to subflows, one segment per scheduler
+// Pick, until the scheduler declines or the data supply (application or
+// flow control) runs dry. The View slice is scratch owned by the
+// connection, refreshed in place each pump: the per-ACK path allocates
+// nothing.
+func (c *Conn) schedule() {
+	if c.redundant {
+		c.scheduleRedundant()
+		return
+	}
+	for i, sf := range c.subs {
+		c.views[i] = sched.View{
+			Cwnd:     c.cc[i].Cwnd,
+			Inflight: sf.outstanding(),
+			SRTT:     sf.srtt.Seconds(),
+			Sendable: !sf.inRec && !sf.inRepair(),
+			Sent:     sf.sndNxt,
+		}
+	}
+	for {
+		// The flow-control headroom shrinks as the loop assigns new
+		// data, so the Ctx is rebuilt per pick — a blocking-aware
+		// scheduler (BLEST) must see the headroom left now, not the
+		// pump-entry snapshot.
+		i := c.sched.Pick(sched.Ctx{Window: c.dataEdge - c.dataNxt}, c.views)
+		if i < 0 {
+			return
+		}
+		if _, ok := c.subs[i].sendNew(); !ok {
+			return
+		}
+		c.views[i].Inflight++
+		c.views[i].Sent++
+	}
+}
+
+// scheduleRedundant drives a duplicating scheduler: every subflow keeps
+// its own replay frontier (dupNxt) over the data stream and, window
+// permitting, carries every data sequence itself — the subflow that is
+// furthest ahead pulls new data, the others replay it. Frontiers skip
+// data the receiver already holds (below dataUna), so a subflow that
+// fell behind replays only the still-unacknowledged window, like
+// Linux's mptcp_redundant. The first copy to arrive delivers; later
+// copies count as duplicate data and consume no receive buffer.
+func (c *Conn) scheduleRedundant() {
+	for progress := true; progress; {
+		progress = false
+		for i, sf := range c.subs {
+			if sf.inRec || sf.inRepair() || sf.outstanding() >= sf.window() {
+				continue
+			}
+			if c.dupNxt[i] < c.dataUna {
+				c.dupNxt[i] = c.dataUna
+			}
+			if c.dupNxt[i] < c.dataNxt {
+				sf.sendMapped(c.dupNxt[i])
+				c.dupNxt[i]++
+				progress = true
+				continue
+			}
+			dataSeq, ok := sf.sendNew()
+			if !ok {
+				continue
+			}
+			if dataSeq+1 > c.dupNxt[i] {
+				c.dupNxt[i] = dataSeq + 1
+			}
+			progress = true
+		}
+	}
+}
+
+// rbufCountermeasures applies the paper's §6 remedies when the shared
+// receive buffer has blocked the sender: the segment everyone is
+// waiting on is the data-level cumulative ack (dataUna), typically
+// parked on a slow subflow while faster ones drained. Opportunistic
+// retransmission re-sends that segment on the fastest other subflow
+// with window space (once per blocking segment); penalization halves
+// the blocking subflow's congestion window (at most once per its RTT)
+// so it stops re-filling the buffer. Both are off unless Config
+// .SchedOpts enables them, leaving default behaviour untouched.
+func (c *Conn) rbufCountermeasures() {
+	if !c.cfg.SchedOpts.Any() || len(c.subs) < 2 {
+		return
+	}
+	// Gate before the blocker scan: while the connection stays blocked
+	// on the same segment, every ACK re-enters here, and once the
+	// opportunistic retransmission is spent and every penalty backoff
+	// is still running there is nothing left to do this round trip.
+	needOpp := c.cfg.SchedOpts.OpportunisticRetx && c.oppRetxSeq != c.dataUna
+	needPen := false
+	if c.cfg.SchedOpts.Penalize {
+		now := c.net.Sim.Now()
+		for _, sf := range c.subs {
+			if now >= sf.nextPenalty {
+				needPen = true
+				break
+			}
+		}
+	}
+	if !needOpp && !needPen {
+		return
+	}
+	blocker := c.findBlocker()
+	if blocker < 0 {
+		return
+	}
+	if c.cfg.SchedOpts.Penalize {
+		c.penalize(blocker)
+	}
+	if needOpp {
+		for i, sf := range c.subs {
+			c.views[i] = sched.View{
+				Cwnd:     c.cc[i].Cwnd,
+				Inflight: sf.outstanding(),
+				SRTT:     sf.srtt.Seconds(),
+				Sendable: !sf.inRec && !sf.inRepair(),
+			}
+		}
+		if best := sched.PickMinRTT(c.views, blocker); best >= 0 {
+			c.subs[best].sendMapped(c.dataUna)
+			c.oppRetxSeq = c.dataUna
+			c.OppRetx++
+		}
+	}
+}
+
+// penalize halves the congestion window of the subflow blocking the
+// receive buffer, backoff-limited to once per smoothed RTT (MinRTO when
+// unmeasured) so repeated blocking events within one round trip do not
+// collapse the window to nothing.
+func (c *Conn) penalize(i int) {
+	sf := c.subs[i]
+	now := c.net.Sim.Now()
+	if now < sf.nextPenalty {
+		return
+	}
+	cw := &c.cc[i]
+	if cw.Cwnd > 1 {
+		cw.Cwnd /= 2
+		if cw.Cwnd < 1 {
+			cw.Cwnd = 1
+		}
+		cw.SSThresh = cw.Cwnd
+		c.Penalties++
+	}
+	d := sf.srtt
+	if d <= 0 {
+		d = c.cfg.MinRTO
+	}
+	sf.nextPenalty = now + d
+}
+
+// findBlocker returns the subflow holding the un-delivered segment the
+// receive window is stuck on (dataSeq == dataUna, outstanding and not
+// SACKed), or -1. The scan is bounded by the subflows' outstanding data
+// and runs only on blocking events, which the countermeasures rate-
+// limit.
+func (c *Conn) findBlocker() int {
+	for i, sf := range c.subs {
+		for s := sf.sndUna; s < sf.sndNxt; s++ {
+			m := sf.slot(s)
+			if !m.sacked && m.dataSeq == c.dataUna {
+				return i
+			}
+		}
+	}
+	return -1
 }
 
 // idle reports whether no subflow has data in flight (so no ACK will

@@ -52,6 +52,10 @@ type Subflow struct {
 	rtoTimer          *sim.Timer
 	backoff           uint
 
+	// nextPenalty rate-limits receive-buffer penalization (§6) to once
+	// per RTT on this subflow.
+	nextPenalty sim.Time
+
 	// nextSend enforces FIFO transmission within the subflow when random
 	// send jitter is enabled.
 	nextSend sim.Time
@@ -115,40 +119,42 @@ func (sf *Subflow) growRing() {
 
 func (sf *Subflow) inRepair() bool { return sf.repairEnd > sf.sndUna }
 
-// trySend transmits as long as the window has room and the connection has
-// data for us. During post-RTO repair, presumed-lost packets are resent
-// (same sequence numbers, same data mapping) before any new data. During
-// fast recovery transmissions are ACK-clocked (see recoveryAck), not
-// window-driven.
-func (sf *Subflow) trySend() {
-	if sf.inRepair() {
-		for sf.repairNxt < sf.repairEnd && sf.repairNxt-sf.sndUna < sf.window() {
-			seq := sf.repairNxt
-			sf.repairNxt++
-			if sf.slot(seq).sacked {
-				continue // receiver already has it
-			}
-			sf.transmit(seq, true)
+// sendRepairs retransmits the post-RTO repair backlog, window permitting:
+// presumed-lost packets are resent (same sequence numbers, same data
+// mapping) before the subflow carries any new data. No-op outside
+// repair. New data is assigned by the connection's scheduler
+// (Conn.schedule), which never selects a subflow in repair or fast
+// recovery; recovery transmissions are ACK-clocked (see recoveryAck),
+// not window-driven.
+func (sf *Subflow) sendRepairs() {
+	for sf.repairNxt < sf.repairEnd && sf.repairNxt-sf.sndUna < sf.window() {
+		seq := sf.repairNxt
+		sf.repairNxt++
+		if sf.slot(seq).sacked {
+			continue // receiver already has it
 		}
-		return
-	}
-	if sf.inRec {
-		return
-	}
-	for sf.outstanding() < sf.window() {
-		if !sf.sendNew() {
-			return
-		}
+		sf.transmit(seq, true)
 	}
 }
 
-// sendNew transmits one packet of new connection data, reporting whether
-// any data was available.
-func (sf *Subflow) sendNew() bool {
+// sendNew transmits one packet of new connection data, returning the
+// data sequence it carried and whether any data was available.
+func (sf *Subflow) sendNew() (int64, bool) {
 	dataSeq, ok := sf.conn.popData()
 	if !ok {
-		return false
+		return 0, false
 	}
+	sf.sendMapped(dataSeq)
+	return dataSeq, true
+}
+
+// sendMapped transmits dataSeq on this subflow under a fresh subflow
+// sequence number. Besides sendNew, the redundant scheduler's
+// duplicates and the opportunistic retransmission of a receive-buffer-
+// blocking segment go through here: the receiver tolerates duplicate
+// data (it consumes no buffer), so re-mapping an already-sent dataSeq
+// is safe.
+func (sf *Subflow) sendMapped(dataSeq int64) {
 	seq := sf.sndNxt
 	sf.sndNxt++
 	for sf.sndNxt-sf.sndUna > sf.mask {
@@ -156,7 +162,6 @@ func (sf *Subflow) sendNew() bool {
 	}
 	*sf.slot(seq) = pktMeta{dataSeq: dataSeq}
 	sf.transmit(seq, false)
-	return true
 }
 
 // transmit puts the packet for subflow sequence seq on the wire, after a
@@ -305,6 +310,9 @@ func (sf *Subflow) recoveryAck(n int64) {
 			continue
 		}
 		if !sf.retransmitHole() {
+			// ACK-clocked recovery transmission: new data bypasses the
+			// scheduler because the clocking, not a policy choice,
+			// decides when this subflow may transmit.
 			sf.sendNew()
 		}
 	}
@@ -375,7 +383,7 @@ func (sf *Subflow) onRTO() {
 		sf.backoff++
 	}
 	sf.armTimer()
-	sf.trySend()
+	sf.sendRepairs()
 }
 
 // sampleRTT folds one RTT measurement into the RFC 6298 estimator.
