@@ -1,0 +1,157 @@
+package main
+
+// End-to-end test of the real binary: `go build` mptcp-xfer, run receiver
+// and sender as separate OS processes over loopback UDP, interpose a
+// chaos relay on each subflow and flap one of them (kill/heal) for the
+// whole transfer. The file must arrive byte-exact — same SHA-256 — and
+// both processes must exit cleanly. This pins the CLI surface (flags,
+// the "listening on" stderr contract the test parses) as well as the
+// stack's recovery through a real partition between real processes.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"mptcp/internal/chaos"
+)
+
+var listenRE = regexp.MustCompile(`subflow (\d+) listening on (\S+)`)
+
+func TestE2EBinaryTransferOverFlappingRelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real processes")
+	}
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "mptcp-xfer")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// ~512 KiB of seeded pseudo-random payload.
+	const size = 512 << 10
+	data := make([]byte, size)
+	rand.New(rand.NewSource(42)).Read(data) //nolint:errcheck
+	inFile := filepath.Join(dir, "in.bin")
+	if err := os.WriteFile(inFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outFile := filepath.Join(dir, "out.bin")
+
+	// Receiver process: two subflow ports, announced on stderr.
+	recv := exec.Command(bin, "-recv", "-paths", "2", "-out", outFile)
+	recvErr, err := recv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Process.Kill() //nolint:errcheck — no-op on clean exit
+
+	ports := make(map[int]string)
+	sc := bufio.NewScanner(recvErr)
+	for len(ports) < 2 && sc.Scan() {
+		if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+			_, port, err := net.SplitHostPort(m[2])
+			if err != nil {
+				t.Fatalf("unparseable listen addr %q: %v", m[2], err)
+			}
+			ports[len(ports)] = port
+		}
+	}
+	if len(ports) < 2 {
+		t.Fatalf("receiver announced %d subflow ports, want 2 (scan err %v)", len(ports), sc.Err())
+	}
+	go func() { // keep draining so the receiver never blocks on stderr
+		for sc.Scan() {
+		}
+	}()
+
+	// One chaos relay per subflow. Both are rate-limited so the transfer
+	// spans several flap cycles; relay 1 is the one that gets partitioned.
+	var relays []*chaos.Relay
+	for i := 0; i < 2; i++ {
+		target, err := net.ResolveUDPAddr("udp", "127.0.0.1:"+ports[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := chaos.NewRelay(target, chaos.PathConfig{Delay: time.Millisecond, RateBps: 40e6}, int64(7000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		relays = append(relays, r)
+	}
+
+	stopFlap := make(chan struct{})
+	defer close(stopFlap)
+	go func() {
+		tick := time.NewTicker(30 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopFlap:
+				relays[1].Path().Heal()
+				return
+			case <-tick.C:
+				if relays[1].Path().Killed() {
+					relays[1].Path().Heal()
+				} else {
+					relays[1].Path().Kill()
+				}
+			}
+		}
+	}()
+
+	var toAddrs []string
+	for _, r := range relays {
+		_, port, err := net.SplitHostPort(r.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		toAddrs = append(toAddrs, "127.0.0.1:"+port)
+	}
+
+	send := exec.Command(bin, "-send", inFile, "-to", strings.Join(toAddrs, ","))
+	var sendOut bytes.Buffer
+	send.Stderr = &sendOut
+	if err := send.Run(); err != nil {
+		t.Fatalf("sender: %v\n%s", err, sendOut.String())
+	}
+	if err := recv.Wait(); err != nil {
+		t.Fatalf("receiver: %v", err)
+	}
+
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != size {
+		t.Fatalf("received %d bytes, want %d", len(got), size)
+	}
+	if sha256.Sum256(got) != sha256.Sum256(data) {
+		t.Fatal("file corrupted in transit: SHA-256 mismatch")
+	}
+	if st := relays[1].Path().Stats(); st.Dropped == 0 {
+		t.Error("the flapped relay never dropped a datagram — the partition was vacuous")
+	} else {
+		t.Logf("flapped relay: %+v; sender: %s", st, strings.TrimSpace(lastLine(sendOut.String())))
+	}
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	return lines[len(lines)-1]
+}

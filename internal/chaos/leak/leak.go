@@ -1,0 +1,154 @@
+// Package leak is a snapshot-diff goroutine leak detector: capture a
+// Snapshot before creating the system under test, then Check after
+// tearing it down. Goroutines born since the snapshot that are still
+// alive after a retry window are reported with their stacks.
+//
+// It deliberately has no dependencies beyond the standard library so any
+// test package (including internal test packages of code the chaos
+// harness itself imports) can use it without import cycles.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignored are stack substrings of goroutines that are never leaks: the
+// runtime's own workers, the testing framework, and goroutines that are
+// by construction mid-exit.
+var ignored = []string{
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runFuzzing",
+	"testing.tRunner.func",
+	"runtime.goexit0",
+	"runtime.gcBgMarkWorker",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.runfinq",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ReadTrace",
+}
+
+// Snapshot is the set of goroutines alive at Take time.
+type Snapshot struct {
+	ids map[int64]bool
+}
+
+// Take captures the current goroutine set.
+func Take() *Snapshot {
+	s := &Snapshot{ids: make(map[int64]bool)}
+	for _, g := range stacks() {
+		s.ids[g.id] = true
+	}
+	return s
+}
+
+// Leaked returns the stacks of goroutines that did not exist at Take time
+// and are still running after retrying for the given window. The window
+// matters: healthy teardown is asynchronous (writer goroutines draining,
+// AfterFunc deliveries in flight), so the detector polls until the set is
+// clean or time runs out.
+func (s *Snapshot) Leaked(within time.Duration) []string {
+	deadline := time.Now().Add(within)
+	for {
+		var leaked []string
+		for _, g := range stacks() {
+			if s.ids[g.id] || g.ignorable() {
+				continue
+			}
+			leaked = append(leaked, g.stack)
+		}
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Check fails t with every leaked goroutine's stack. Use from t.Cleanup,
+// registered before the system under test is built so it runs after the
+// test's own teardown:
+//
+//	snap := leak.Take()
+//	t.Cleanup(func() { snap.Check(t, 5*time.Second) })
+func (s *Snapshot) Check(t testing.TB, within time.Duration) {
+	t.Helper()
+	leaked := s.Leaked(within)
+	for _, stack := range leaked {
+		t.Errorf("leaked goroutine:\n%s", stack)
+	}
+	if len(leaked) > 0 {
+		t.Errorf("%d goroutine(s) leaked (did not exit within %v of teardown)", len(leaked), within)
+	}
+}
+
+// Check is the one-liner for tests: it snapshots the goroutine set now
+// and registers a cleanup asserting everything born after this call has
+// exited by the end of the test. Call it before building the system
+// under test — cleanups run LIFO, so registering first means the
+// assertion runs after the test's own teardown cleanups.
+func Check(t testing.TB, within time.Duration) {
+	t.Helper()
+	snap := Take()
+	t.Cleanup(func() { snap.Check(t, within) })
+}
+
+type goroutine struct {
+	id    int64
+	stack string
+}
+
+func (g goroutine) ignorable() bool {
+	for _, pat := range ignored {
+		if strings.Contains(g.stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// stacks parses runtime.Stack(all=true) into per-goroutine records.
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var gs []goroutine
+	for _, dump := range strings.Split(string(buf), "\n\n") {
+		id, err := parseID(dump)
+		if err != nil {
+			continue
+		}
+		gs = append(gs, goroutine{id: id, stack: dump})
+	}
+	return gs
+}
+
+// parseID extracts N from a dump starting "goroutine N [state]:".
+func parseID(dump string) (int64, error) {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(dump, prefix) {
+		return 0, fmt.Errorf("not a goroutine header")
+	}
+	rest := dump[len(prefix):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return 0, fmt.Errorf("malformed goroutine header")
+	}
+	return strconv.ParseInt(rest[:sp], 10, 64)
+}

@@ -1,0 +1,51 @@
+package leak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func blockForever(ch chan struct{}) { <-ch }
+
+// TestDetectsLeakThenClears: a goroutine born after the snapshot is
+// reported while alive, and the report clears (within the retry window)
+// once it exits.
+func TestDetectsLeakThenClears(t *testing.T) {
+	snap := Take()
+	ch := make(chan struct{})
+	go blockForever(ch)
+
+	leaked := snap.Leaked(50 * time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("parked goroutine not reported")
+	}
+	found := false
+	for _, stack := range leaked {
+		if strings.Contains(stack, "blockForever") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("report misses the leaker: %v", leaked)
+	}
+
+	close(ch)
+	if leaked := snap.Leaked(5 * time.Second); len(leaked) != 0 {
+		t.Errorf("goroutine exited but still reported: %v", leaked)
+	}
+}
+
+// TestPreexistingGoroutinesIgnored: goroutines alive at snapshot time are
+// never leaks, however long they run.
+func TestPreexistingGoroutinesIgnored(t *testing.T) {
+	ch := make(chan struct{})
+	go blockForever(ch)
+	defer close(ch)
+	time.Sleep(10 * time.Millisecond) // let it park
+
+	snap := Take()
+	if leaked := snap.Leaked(50 * time.Millisecond); len(leaked) != 0 {
+		t.Errorf("pre-snapshot goroutine reported as leak: %v", leaked)
+	}
+}

@@ -1,0 +1,284 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sink is a minimal net.PacketConn that records every delivered frame;
+// ReadFrom blocks until Close.
+type sink struct {
+	mu     sync.Mutex
+	frames [][]byte
+	done   chan struct{}
+	once   sync.Once
+}
+
+func newSink() *sink { return &sink{done: make(chan struct{})} }
+
+func (s *sink) WriteTo(p []byte, _ net.Addr) (int, error) {
+	b := append([]byte(nil), p...)
+	s.mu.Lock()
+	s.frames = append(s.frames, b)
+	s.mu.Unlock()
+	return len(p), nil
+}
+
+func (s *sink) got() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.frames...)
+}
+
+func (s *sink) ReadFrom(p []byte) (int, net.Addr, error) {
+	<-s.done
+	return 0, nil, net.ErrClosed
+}
+func (s *sink) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return nil
+}
+func (s *sink) LocalAddr() net.Addr              { return sinkAddr{} }
+func (s *sink) SetDeadline(time.Time) error      { return nil }
+func (s *sink) SetReadDeadline(time.Time) error  { return nil }
+func (s *sink) SetWriteDeadline(time.Time) error { return nil }
+
+type sinkAddr struct{}
+
+func (sinkAddr) Network() string { return "sink" }
+func (sinkAddr) String() string  { return "sink" }
+
+// write pushes n distinct one-byte-tagged frames through p.
+func write(t *testing.T, p *Path, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := p.WriteTo([]byte{byte(i), byte(i >> 8), 0xAA, 0x55}, sinkAddr{}); err != nil {
+			t.Fatalf("WriteTo %d: %v", i, err)
+		}
+	}
+}
+
+// TestPathDeterministicBySeed: identical seeds and write sequences make
+// identical fault decisions — the property that lets a failing run be
+// replayed from its printed seed.
+func TestPathDeterministicBySeed(t *testing.T) {
+	cfg := PathConfig{LossRate: 0.4, DupRate: 0.2, CorruptRate: 0.3}
+	run := func(seed int64) [][]byte {
+		s := newSink()
+		p := New(s, cfg, seed)
+		write(t, p, 500)
+		p.Close()
+		return s.got()
+	}
+	a, b := run(77), run(77)
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered %d vs %d frames", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("same seed diverged at frame %d: %x vs %x", i, a[i], b[i])
+		}
+	}
+	c := run(78)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if !bytes.Equal(a[i], c[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical fault sequences")
+		}
+	}
+}
+
+// TestPathKillHeal: a killed path eats everything (counted as drops); a
+// healed one delivers again.
+func TestPathKillHeal(t *testing.T) {
+	s := newSink()
+	p := New(s, PathConfig{}, 1)
+	defer p.Close()
+	p.Kill()
+	write(t, p, 10)
+	if n := len(s.got()); n != 0 {
+		t.Fatalf("killed path delivered %d frames", n)
+	}
+	if st := p.Stats(); st.Dropped != 10 {
+		t.Errorf("killed path counted %d drops, want 10", st.Dropped)
+	}
+	p.Heal()
+	write(t, p, 5)
+	if n := len(s.got()); n != 5 {
+		t.Errorf("healed path delivered %d frames, want 5", n)
+	}
+}
+
+// TestPathCorruption: CorruptRate 1 mangles every frame, and the mangled
+// copy differs from the original (the caller's buffer is untouched).
+func TestPathCorruption(t *testing.T) {
+	s := newSink()
+	p := New(s, PathConfig{CorruptRate: 1}, 2)
+	defer p.Close()
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	sent := append([]byte(nil), orig...)
+	p.WriteTo(sent, sinkAddr{}) //nolint:errcheck
+	frames := s.got()
+	if len(frames) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(frames))
+	}
+	if bytes.Equal(frames[0], orig) {
+		t.Error("corrupted frame identical to original")
+	}
+	if !bytes.Equal(sent, orig) {
+		t.Error("corruption mutated the caller's buffer")
+	}
+	if st := p.Stats(); st.Corrupted != 1 {
+		t.Errorf("Corrupted = %d, want 1", st.Corrupted)
+	}
+}
+
+// TestPathDuplication: DupRate 1 delivers every frame twice.
+func TestPathDuplication(t *testing.T) {
+	s := newSink()
+	p := New(s, PathConfig{DupRate: 1}, 3)
+	defer p.Close()
+	write(t, p, 7)
+	if n := len(s.got()); n != 14 {
+		t.Errorf("delivered %d frames, want 14 (every one duplicated)", n)
+	}
+	if st := p.Stats(); st.Duplicated != 7 || st.Sent != 14 {
+		t.Errorf("stats = %+v, want Duplicated 7 Sent 14", st)
+	}
+}
+
+// TestPathReorderHoldsBack: a frame tagged for reordering is overtaken by
+// a later untagged one.
+func TestPathReorderHoldsBack(t *testing.T) {
+	s := newSink()
+	p := New(s, PathConfig{ReorderRate: 1, ReorderDelay: 40 * time.Millisecond}, 4)
+	defer p.Close()
+	p.WriteTo([]byte{1}, sinkAddr{}) //nolint:errcheck — held back 40ms
+	p.SetConfig(PathConfig{})
+	p.WriteTo([]byte{2}, sinkAddr{}) //nolint:errcheck — direct
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.got()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d frames arrived", len(s.got()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	frames := s.got()
+	if frames[0][0] != 2 || frames[1][0] != 1 {
+		t.Errorf("delivery order %v, want the held-back frame second", frames)
+	}
+	if st := p.Stats(); st.Reordered != 1 {
+		t.Errorf("Reordered = %d, want 1", st.Reordered)
+	}
+}
+
+// TestPathGilbertElliott: a chain pinned in the bad state after the first
+// datagram loses everything from then on — burstiness, not coin flips.
+func TestPathGilbertElliott(t *testing.T) {
+	s := newSink()
+	p := New(s, PathConfig{GE: &GEParams{
+		PGoodBad: 1, PBadGood: 0, LossGood: 0, LossBad: 1,
+	}}, 5)
+	defer p.Close()
+	write(t, p, 20)
+	if n := len(s.got()); n != 1 {
+		t.Errorf("delivered %d frames, want exactly the first (then a permanent fade)", n)
+	}
+	if st := p.Stats(); st.Dropped != 19 {
+		t.Errorf("Dropped = %d, want 19", st.Dropped)
+	}
+}
+
+// TestPathClosePendingDrains: Close cancels scheduled deliveries and the
+// pending count settles to zero — the leaked-timer invariant.
+func TestPathClosePendingDrains(t *testing.T) {
+	s := newSink()
+	p := New(s, PathConfig{Delay: 50 * time.Millisecond}, 6)
+	write(t, p, 32)
+	if p.Pending() == 0 {
+		t.Fatal("delayed writes should be pending before close")
+	}
+	p.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d deliveries still pending after close", p.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := len(s.got()); n != 0 {
+		t.Errorf("%d frames delivered after close", n)
+	}
+}
+
+// TestRelayForwardsBothWays: datagrams flow client → target through the
+// chaos path and replies return to the client.
+func TestRelayForwardsBothWays(t *testing.T) {
+	target, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	r, err := NewRelay(target.LocalAddr(), PathConfig{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	client, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.WriteTo([]byte("ping"), r.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	target.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	n, from, err := target.ReadFrom(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("target read %q, %v", buf[:n], err)
+	}
+	if _, err := target.WriteTo([]byte("pong"), from); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	n, _, err = client.ReadFrom(buf)
+	if err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("client read %q, %v", buf[:n], err)
+	}
+}
+
+// TestScriptPlaysInOrder: a kill/heal script fires against the named
+// groups at its offsets, regardless of declaration order.
+func TestScriptPlaysInOrder(t *testing.T) {
+	s := newSink()
+	p := New(s, PathConfig{}, 8)
+	defer p.Close()
+	groups := map[string][]*Path{"p0": {p}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Script{
+			{At: 30 * time.Millisecond, Kill: false, Name: "p0"},
+			{At: 0, Kill: true, Name: "p0"},
+		}.Play(groups, nil, nil)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if !p.Killed() {
+		t.Error("path not killed by the t=0 step")
+	}
+	<-done
+	if p.Killed() {
+		t.Error("path not healed by the final step")
+	}
+}

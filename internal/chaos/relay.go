@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+)
+
+// Relay is a userspace UDP forwarder with a chaos Path on the forward
+// direction: clients send to Addr(), the relay forwards to the target
+// through the Path's fault model, and replies from the target flow back
+// to the most recent client untouched. It lets two real processes that
+// know nothing about this package (e.g. the mptcp-xfer binary on both
+// ends) be exercised under kill/heal flaps, loss and corruption.
+//
+// The relay learns its client from the first datagram, like a NAT with a
+// single binding — one sender per relay.
+type Relay struct {
+	front net.PacketConn // clients talk to this
+	path  *Path          // wraps the back conn; faults on forward writes
+	tgt   net.Addr
+
+	mu     sync.Mutex
+	client net.Addr
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewRelay opens a relay on loopback toward target, applying cfg (seeded
+// by seed) to the forward direction.
+func NewRelay(target net.Addr, cfg PathConfig, seed int64) (*Relay, error) {
+	front, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	back, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		front.Close()
+		return nil, err
+	}
+	r := &Relay{front: front, path: New(back, cfg, seed), tgt: target}
+	r.wg.Add(2)
+	go r.forward()
+	go r.backward()
+	return r, nil
+}
+
+// Addr is the relay's client-facing address.
+func (r *Relay) Addr() net.Addr { return r.front.LocalAddr() }
+
+// Path exposes the forward fault model for mid-run mutation (flap the
+// relay to flap the path between the two real processes).
+func (r *Relay) Path() *Path { return r.path }
+
+// Close tears both sockets down and waits for the pump goroutines.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.front.Close()
+	r.path.Close()
+	r.wg.Wait()
+	return nil
+}
+
+// forward pumps client → target through the chaos path.
+func (r *Relay) forward() {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := r.front.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		r.client = from
+		r.mu.Unlock()
+		r.path.WriteTo(buf[:n], r.tgt) //nolint:errcheck // lossy path semantics
+	}
+}
+
+// backward pumps target → client, unshaped.
+func (r *Relay) backward() {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := r.path.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		client := r.client
+		r.mu.Unlock()
+		if client == nil {
+			continue // no client yet: nowhere to deliver
+		}
+		r.front.WriteTo(buf[:n], client) //nolint:errcheck
+	}
+}

@@ -1,0 +1,40 @@
+package mptcpnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"mptcp/internal/chaos"
+	"mptcp/internal/chaos/leak"
+)
+
+// TestTransferSurvivesBitCorruption runs a transfer through a chaos.Path
+// that flips bits in 5% of data-direction datagrams. The wire checksum
+// must turn every mangled frame into a counted drop — the transfer
+// completes byte-exact, the receiver's Corrupted counter advances, and
+// nothing leaks.
+func TestTransferSurvivesBitCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second lossy transfer")
+	}
+	leak.Check(t, 5*time.Second)
+	corrupting := func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
+		a, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close(); b.Close() })
+		s := chaos.New(a, chaos.PathConfig{Delay: time.Millisecond, CorruptRate: 0.05}, int64(6000+i))
+		r := chaos.New(b, chaos.PathConfig{Delay: time.Millisecond}, int64(6100+i))
+		return s, r, b.LocalAddr()
+	}
+	_, rx := transfer(t, 128<<10, 2, corrupting, Config{}, 60*time.Second)
+	if rx.Corrupted() == 0 {
+		t.Error("no corrupted frames counted despite a 5% corruption rate")
+	}
+}

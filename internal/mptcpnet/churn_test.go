@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mptcp/internal/chaos/leak"
 )
 
 // TestSocketChurnUnderPathFlaps churns whole connections — open,
@@ -20,6 +22,7 @@ func TestSocketChurnUnderPathFlaps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-connection churn")
 	}
+	leak.Check(t, 5*time.Second) // registered first ⇒ runs after every churned socket's cleanups
 	const iterations = 5
 
 	var flapped []*EmuPath

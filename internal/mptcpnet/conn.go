@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mptcp/internal/cc"
@@ -85,6 +86,10 @@ type Sender struct {
 	reinjects int64
 	oppRetx   int64
 	penalties int64
+
+	// corrupt counts inbound frames dropped by the checksum; atomic (not
+	// mu) because readLoop bumps it without taking the connection lock.
+	corrupt atomic.Int64
 }
 
 type sendSubflow struct {
@@ -110,6 +115,11 @@ type sendSubflow struct {
 	timer             *time.Timer
 	timerOn           bool
 	start             time.Time
+
+	// rtoStreak counts consecutive RTOs since this subflow last made
+	// cumulative-ACK progress; when every subflow's streak reaches
+	// maxRTOStreak the sender gives up. Guarded by the parent's mu.
+	rtoStreak int
 
 	// nextPenalty rate-limits receive-buffer penalization (§6) to once
 	// per RTT on this subflow. Guarded by the parent's mu.
@@ -141,6 +151,19 @@ const maxRTO = 60 * time.Second
 // sender gives up and releases its goroutines instead of rescheduling
 // timers forever.
 const maxFinRetries = 12
+
+// maxRTOStreak is the data-level give-up bound: when EVERY subflow has
+// suffered this many consecutive retransmission timeouts with no
+// cumulative-ACK progress anywhere, the connection is dead end to end
+// (all radios gone and staying gone) and the sender aborts with an error
+// rather than retransmitting forever — the transfers-complete-or-fail
+// invariant the chaos harness asserts. A single live subflow resets its
+// own streak on every ACK, so no amount of chaos on the other paths
+// trips this while one path still delivers. Eight doublings put the
+// final wait at 256× the measured RTO — patient enough to ride out any
+// plausible congestion event, yet bounded (seconds to about a minute)
+// rather than the hours twelve doublings would cost.
+const maxRTOStreak = 8
 
 // sendQueueCap is the per-subflow writer queue depth, in segments.
 const sendQueueCap = 512
@@ -342,6 +365,10 @@ func (s *Sender) SchedStats() (oppRetx, penalties int64) {
 	defer s.mu.Unlock()
 	return s.oppRetx, s.penalties
 }
+
+// Corrupted returns the count of inbound frames dropped because their
+// checksum did not verify.
+func (s *Sender) Corrupted() int64 { return s.corrupt.Load() }
 
 // SubflowSent returns the count of segments assigned to subflow i.
 func (s *Sender) SubflowSent(i int) int64 {
@@ -607,6 +634,7 @@ func (sf *sendSubflow) transmit(seq int64, retx bool) {
 	buf := make([]byte, headerSize+len(payload))
 	h.marshal(buf)
 	copy(buf[headerSize:], payload)
+	sealFrame(buf)
 	m.retx = m.retx || retx
 	if retx {
 		s.segsRetx++
@@ -711,6 +739,7 @@ func (sf *sendSubflow) transmitFin() {
 	}
 	buf := make([]byte, headerSize)
 	h.marshal(buf)
+	sealFrame(buf)
 	if !sf.queueWrite(buf) {
 		// The writer is backlogged or already gone: bypass the queue
 		// rather than drop the FIN (it carries no sequence-space
@@ -746,7 +775,13 @@ func (sf *sendSubflow) readLoop() {
 			return // socket closed
 		}
 		var h header
-		if h.unmarshal(buf[:n]) != nil || h.ConnID != sf.parent.connID {
+		if err := h.unmarshal(buf[:n]); err != nil {
+			if errors.Is(err, errBadFrame) {
+				sf.parent.corrupt.Add(1)
+			}
+			continue
+		}
+		if h.ConnID != sf.parent.connID {
 			continue
 		}
 		if h.Type != typeAck {
@@ -783,6 +818,7 @@ func (s *Sender) handleAck(sf *sendSubflow, h *header) {
 	ack := h.Seq
 	switch {
 	case ack > sf.sndUna:
+		sf.rtoStreak = 0
 		newly := ack - sf.sndUna
 		// Karn's rule: an ACK that covers a retransmitted segment is
 		// ambiguous (it may acknowledge either transmission), so it must
@@ -826,6 +862,17 @@ func (s *Sender) handleAck(sf *sendSubflow, h *header) {
 	s.maybeFinishLocked()
 }
 
+// allSubflowsTimedOutLocked reports whether every subflow has hit the
+// consecutive-RTO give-up bound — the all-paths-dead terminal state.
+func (s *Sender) allSubflowsTimedOutLocked() bool {
+	for _, sf := range s.subs {
+		if sf.rtoStreak < maxRTOStreak {
+			return false
+		}
+	}
+	return true
+}
+
 // fastRetransmit halves the window once and retransmits all unsacked
 // segments below the highest sacked sequence.
 func (s *Sender) fastRetransmit(sf *sendSubflow) {
@@ -861,6 +908,11 @@ func (sf *sendSubflow) onRTO() {
 	sf.timerOn = false
 	if s.doneClosed || sf.sndNxt == sf.sndUna {
 		return // finished/aborted senders must not rearm
+	}
+	sf.rtoStreak++
+	if s.allSubflowsTimedOutLocked() {
+		s.abortLocked(errors.New("mptcpnet: every subflow timed out repeatedly with no progress, giving up"))
+		return
 	}
 	cc := &s.cc[sf.id]
 	if s.lossObs != nil {

@@ -1,87 +1,53 @@
 package mptcpnet
 
 import (
-	"math/rand"
 	"net"
-	"sync"
 	"time"
+
+	"mptcp/internal/chaos"
 )
 
-// EmuPath wraps a net.PacketConn and emulates path characteristics on
-// outgoing packets: one-way delay, i.i.d. loss, and a token-bucket rate
-// limit. It substitutes for the paper's heterogeneous radio links (WiFi
-// vs 3G) when exercising the stack over loopback.
+// EmuPath wraps a net.PacketConn and emulates the simple path
+// characteristics the original loopback tests need: one-way delay, i.i.d.
+// loss, and a token-bucket rate limit. It substitutes for the paper's
+// heterogeneous radio links (WiFi vs 3G) when exercising the stack over
+// loopback.
+//
+// EmuPath is now a thin shim over chaos.Path, which carries the full
+// fault model (reordering, duplication, bit corruption, Gilbert–Elliott
+// burst loss, kill/heal); use internal/chaos directly for anything
+// beyond delay/loss/rate.
 type EmuPath struct {
-	net.PacketConn
-	Delay    time.Duration
-	LossRate float64
-	RateBps  float64 // 0 = unlimited
-
-	mu       sync.Mutex
-	rng      *rand.Rand
-	nextFree time.Time
-
-	Dropped int64
-	Sent    int64
+	*chaos.Path
 }
 
-// NewEmuPath wraps conn with the given one-way delay and loss rate.
+// NewEmuPath wraps conn with the given one-way delay, loss rate and rate
+// limit (0 = unlimited), deterministically seeded.
 func NewEmuPath(conn net.PacketConn, delay time.Duration, loss float64, rateBps float64, seed int64) *EmuPath {
-	return &EmuPath{
-		PacketConn: conn,
-		Delay:      delay,
-		LossRate:   loss,
-		RateBps:    rateBps,
-		rng:        rand.New(rand.NewSource(seed)),
-	}
+	return &EmuPath{Path: chaos.New(conn, chaos.PathConfig{
+		Delay:    delay,
+		LossRate: loss,
+		RateBps:  rateBps,
+	}, seed)}
 }
 
 // SetLossRate changes the path's loss rate mid-run — the socket-level
 // analogue of a scenario link flap (1.0 = the radio is gone). Safe for
 // concurrent use with WriteTo.
 func (e *EmuPath) SetLossRate(p float64) {
-	e.mu.Lock()
-	e.LossRate = p
-	e.mu.Unlock()
+	e.Update(func(c *chaos.PathConfig) { c.LossRate = p })
 }
 
 // SetDelay changes the path's one-way delay mid-run (handover to a
 // farther basestation). Packets already written keep the delay that
 // applied at write time. Safe for concurrent use with WriteTo.
 func (e *EmuPath) SetDelay(d time.Duration) {
-	e.mu.Lock()
-	e.Delay = d
-	e.mu.Unlock()
+	e.Update(func(c *chaos.PathConfig) { c.Delay = d })
 }
 
-// WriteTo applies loss, serialisation and delay, then forwards the packet.
-func (e *EmuPath) WriteTo(p []byte, addr net.Addr) (int, error) {
-	e.mu.Lock()
-	if e.LossRate > 0 && e.rng.Float64() < e.LossRate {
-		e.Dropped++
-		e.mu.Unlock()
-		return len(p), nil // silently eaten, like a radio fade
-	}
-	delay := e.Delay
-	if e.RateBps > 0 {
-		tx := time.Duration(float64(len(p)*8) / e.RateBps * float64(time.Second))
-		now := time.Now()
-		if e.nextFree.Before(now) {
-			e.nextFree = now
-		}
-		e.nextFree = e.nextFree.Add(tx)
-		delay += e.nextFree.Sub(now)
-	}
-	e.Sent++
-	e.mu.Unlock()
-
-	buf := make([]byte, len(p))
-	copy(buf, p)
-	if delay <= 0 {
-		return e.PacketConn.WriteTo(buf, addr)
-	}
-	time.AfterFunc(delay, func() {
-		e.PacketConn.WriteTo(buf, addr) //nolint:errcheck
-	})
-	return len(p), nil
+// Stats returns the path's sent/dropped counters. This replaces the old
+// bare exported fields, which raced with concurrent WriteTo calls.
+func (e *EmuPath) Stats() (sent, dropped int64) {
+	st := e.Path.Stats()
+	return st.Sent, st.Dropped
 }

@@ -103,6 +103,7 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 	buf := make([]byte, headerSize)
 	h.marshal(buf)
+	sealFrame(buf)
 	var g header
 	if err := g.unmarshal(buf); err != nil {
 		t.Fatal(err)
@@ -112,15 +113,46 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 }
 
+// Every single-bit flip anywhere in a sealed frame must be caught by the
+// checksum — this is the property that turns the chaos layer's bit
+// corruption into counted drops instead of decoded garbage.
+func TestWireRejectsCorruptedFrame(t *testing.T) {
+	h := header{
+		Type: typeData, Subflow: 1, ConnID: 99, Seq: 7, DataSeq: 8,
+		Plen: 32,
+	}
+	frame := make([]byte, headerSize+32)
+	h.marshal(frame)
+	for i := headerSize; i < len(frame); i++ {
+		frame[i] = byte(i * 7)
+	}
+	sealFrame(frame)
+	var g header
+	if err := g.unmarshal(frame); err != nil {
+		t.Fatalf("sealed frame rejected: %v", err)
+	}
+	for i := 0; i < len(frame); i++ {
+		for bit := 0; bit < 8; bit++ {
+			frame[i] ^= 1 << bit
+			if err := g.unmarshal(frame); err == nil {
+				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
+			}
+			frame[i] ^= 1 << bit
+		}
+	}
+}
+
 func TestWireRejectsShort(t *testing.T) {
 	var h header
 	if err := h.unmarshal(make([]byte, headerSize-1)); err == nil {
 		t.Error("short packet accepted")
 	}
-	// Payload length larger than the datagram must be rejected.
+	// Payload length larger than the datagram must be rejected even when
+	// the frame is correctly sealed.
 	good := header{Type: typeData, Plen: 100}
 	buf := make([]byte, headerSize)
 	good.marshal(buf)
+	sealFrame(buf)
 	if err := h.unmarshal(buf); err == nil {
 		t.Error("overlong Plen accepted")
 	}

@@ -1,9 +1,11 @@
 package mptcpnet
 
 import (
+	"errors"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Receiver is the receiving side of a multipath connection: it reads
@@ -31,6 +33,10 @@ type Receiver struct {
 	dupData      int64
 	overflow     int64 // segments refused by the shared buffer
 	subflowRecvd []int64
+
+	// corrupt counts inbound frames dropped by the checksum; atomic (not
+	// mu) because readLoop bumps it without taking the lock.
+	corrupt atomic.Int64
 }
 
 // NewReceiver builds a receiver listening on the given subflow sockets.
@@ -104,6 +110,11 @@ func (r *Receiver) Stats() (recvd, dupData, overflow int64) {
 	return r.segsRecvd, r.dupData, r.overflow
 }
 
+// Corrupted returns the count of inbound frames dropped because their
+// checksum did not verify — damaged in flight and refused before any
+// sequence state could be polluted.
+func (r *Receiver) Corrupted() int64 { return r.corrupt.Load() }
+
 // SubflowReceived returns the count of distinct data segments that
 // arrived via subflow i (per-path goodput).
 func (r *Receiver) SubflowReceived(i int) int64 {
@@ -128,7 +139,13 @@ func (r *Receiver) readLoop(sub int) {
 			return
 		}
 		var h header
-		if h.unmarshal(buf[:n]) != nil || h.ConnID != r.connID {
+		if err := h.unmarshal(buf[:n]); err != nil {
+			if errors.Is(err, errBadFrame) {
+				r.corrupt.Add(1)
+			}
+			continue
+		}
+		if h.ConnID != r.connID {
 			continue
 		}
 		switch h.Type {
@@ -236,6 +253,7 @@ func (r *Receiver) ack(sub int, echo uint32, sack int64, to net.Addr) {
 	r.mu.Unlock()
 	buf := make([]byte, headerSize)
 	h.marshal(buf)
+	sealFrame(buf)
 	conn.WriteTo(buf, to) //nolint:errcheck // lossy path semantics
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"mptcp/internal/chaos/leak"
 	"mptcp/internal/sched"
 )
 
@@ -15,6 +16,7 @@ func TestSchedulersOverSockets(t *testing.T) {
 	for si, name := range sched.Names() {
 		si, name := si, name
 		t.Run(name, func(t *testing.T) {
+			leak.Check(t, 5*time.Second) // registered first ⇒ runs after the conn-close cleanups
 			transfer(t, 100<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
 				return pipePair(t, time.Duration(1+10*i)*time.Millisecond, 0, 10e6, int64(2000+10*si+i))
 			}, Config{Sched: sched.MustNew(name)}, 60*time.Second)
@@ -27,6 +29,7 @@ func TestSchedulersOverSockets(t *testing.T) {
 // transfer through path 0 — every segment rides every subflow, so a
 // dead path never strands the stream (no reliance on RTO reinjection).
 func TestRedundantSurvivesDeadPathOverSockets(t *testing.T) {
+	leak.Check(t, 5*time.Second)
 	tx, rx := transfer(t, 100<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
 		loss := 0.0
 		if i == 1 {
@@ -50,6 +53,7 @@ func TestRedundantSurvivesDeadPathOverSockets(t *testing.T) {
 // them, and with SchedOpts enabled the sender must detect the blocking,
 // fire the countermeasures and still complete the transfer.
 func TestCountermeasuresOverSockets(t *testing.T) {
+	leak.Check(t, 5*time.Second)
 	var sConns, rConns []net.PacketConn
 	var remotes []net.Addr
 	for i := 0; i < 2; i++ {
@@ -64,6 +68,7 @@ func TestCountermeasuresOverSockets(t *testing.T) {
 	}
 	const connID = 41
 	rx := NewReceiver(connID, rConns, 64)
+	defer rx.Close()
 	tx := NewSender(connID, sConns, remotes, Config{
 		Sched:     sched.MinRTT{},
 		SchedOpts: sched.Options{OpportunisticRetx: true, Penalize: true},

@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // Segment types.
@@ -46,7 +47,10 @@ const (
 )
 
 // headerSize is the fixed wire header length in bytes.
-const headerSize = 46
+const headerSize = 50
+
+// sumOffset is the byte offset of the frame checksum within the header.
+const sumOffset = 46
 
 // MaxPayload is the data payload carried per segment. It is chosen so
 // header+payload fits comfortably in a 1500-byte MTU over UDP/IP.
@@ -62,6 +66,8 @@ const MaxPayload = 1200
 //	36  window(4)   receive window in segments (ACK)
 //	40  echo(4)     truncated timestamp echo, microseconds
 //	44  plen(2)
+//	46  sum(4)      frame checksum (CRC-32C over the whole datagram
+//	                with this field zeroed), stamped by sealFrame
 type header struct {
 	Type    byte
 	Flags   byte
@@ -75,7 +81,32 @@ type header struct {
 	Plen    uint16
 }
 
-var errShortPacket = errors.New("mptcpnet: short packet")
+var (
+	errShortPacket = errors.New("mptcpnet: short packet")
+	errBadFrame    = errors.New("mptcpnet: frame checksum mismatch")
+)
+
+// crcTable backs the frame checksum. Castagnoli rather than IEEE: it has
+// hardware support on amd64/arm64, and UDP's own 16-bit checksum is weak
+// enough (and optional on IPv4) that corrupted datagrams do reach us.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameSum computes the frame checksum over the whole datagram with the
+// checksum field treated as zero.
+func frameSum(buf []byte) uint32 {
+	var zero [4]byte
+	sum := crc32.Update(0, crcTable, buf[:sumOffset])
+	sum = crc32.Update(sum, crcTable, zero[:])
+	return crc32.Update(sum, crcTable, buf[headerSize:])
+}
+
+// sealFrame stamps the frame checksum into a fully assembled datagram
+// (marshalled header plus payload). Every frame must be sealed after its
+// payload is in place and before it hits the wire; unmarshal rejects
+// unsealed or damaged frames.
+func sealFrame(buf []byte) {
+	binary.BigEndian.PutUint32(buf[sumOffset:], frameSum(buf))
+}
 
 func (h *header) marshal(buf []byte) []byte {
 	buf = buf[:headerSize]
@@ -89,12 +120,21 @@ func (h *header) marshal(buf []byte) []byte {
 	binary.BigEndian.PutUint32(buf[36:], h.Window)
 	binary.BigEndian.PutUint32(buf[40:], h.Echo)
 	binary.BigEndian.PutUint16(buf[44:], h.Plen)
+	// The checksum field starts zeroed (buffers may be recycled); the
+	// caller seals the frame once the payload is appended.
+	binary.BigEndian.PutUint32(buf[sumOffset:], 0)
 	return buf
 }
 
 func (h *header) unmarshal(buf []byte) error {
 	if len(buf) < headerSize {
 		return errShortPacket
+	}
+	// Verify before parsing: a frame damaged in flight (the chaos layer's
+	// bit-corruption, or a real-world flipped bit surviving UDP's weak
+	// checksum) must be dropped, not decoded into garbage sequence state.
+	if binary.BigEndian.Uint32(buf[sumOffset:]) != frameSum(buf) {
+		return errBadFrame
 	}
 	h.Type = buf[0]
 	h.Flags = buf[1]
