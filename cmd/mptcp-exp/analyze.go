@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mptcp/internal/analyze"
+)
+
+// runAnalyze aggregates the named JSONL artifact files (stdin when none
+// or "-" is given) into one analyze.Report, renders the summary tables
+// to stdout, and optionally writes the same rows as CSV.
+func runAnalyze(files []string, csvPath string) error {
+	rep := analyze.NewReport()
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	for _, name := range files {
+		var in io.Reader
+		if name == "-" {
+			in = os.Stdin
+		} else {
+			f, err := os.Open(name)
+			if err != nil {
+				return err
+			}
+			in = f
+			defer f.Close()
+		}
+		if err := rep.Read(in); err != nil {
+			return fmt.Errorf("reading %s: %v", name, err)
+		}
+	}
+	if rep.CellLines+rep.TrialLines+rep.TraceLines == 0 {
+		return fmt.Errorf("no grid, trial or trace records found in input (%d lines skipped)", rep.Skipped)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		var out io.Writer = os.Stdout
+		if csvPath != "-" {
+			f, err := os.Create(csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteCSV(out); err != nil {
+			return fmt.Errorf("writing CSV: %v", err)
+		}
+	}
+	return nil
+}

@@ -27,7 +27,10 @@ type engineBench struct {
 // path. The workload is netsim.BenchRing (4 links, 256 circulating
 // packets), the same harness BenchmarkEnginePacketHop runs, so the CI
 // trajectory and the go-test benchmark measure the identical workload.
-func runEngineBench(path string) error {
+// With a baseline path the fresh record is compared against the
+// checked-in one and an events/sec regression beyond benchTolerance
+// fails the run — CI's perf gate.
+func runEngineBench(path, baseline string) error {
 	s := sim.New(1)
 	netsim.NewBenchRing(s, 4, 256)
 
@@ -63,5 +66,40 @@ func runEngineBench(path string) error {
 	}
 	fmt.Printf("engine bench: %.1fM events/s, %.4f allocs/op, %.1f ns/hop (%d hops)\n",
 		rec.EventsPerSec/1e6, rec.AllocsPerOp, rec.NsPerHop, rec.Hops)
+	if baseline != "" {
+		return checkBaseline(rec, baseline)
+	}
+	return nil
+}
+
+// benchTolerance is the fractional events/sec drop the perf gate
+// forgives before failing: generous enough for shared-runner noise,
+// tight enough that a real hot-path regression (an allocation, a lock,
+// an indirect call on the packet hop) trips it.
+const benchTolerance = 0.10
+
+// checkBaseline compares a fresh engine-bench record against the
+// checked-in baseline and errors if events/sec dropped more than
+// benchTolerance. Improvements are reported, never fatal; the baseline
+// is only rewritten deliberately (see DESIGN.md §"Perf trajectory").
+func checkBaseline(rec engineBench, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %v", err)
+	}
+	var base engineBench
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench baseline %s: %v", path, err)
+	}
+	if base.EventsPerSec <= 0 {
+		return fmt.Errorf("bench baseline %s: events_per_sec missing or non-positive", path)
+	}
+	ratio := rec.EventsPerSec / base.EventsPerSec
+	fmt.Printf("engine bench gate: %.1fM events/s vs baseline %.1fM (%.1f%%)\n",
+		rec.EventsPerSec/1e6, base.EventsPerSec/1e6, 100*ratio)
+	if ratio < 1-benchTolerance {
+		return fmt.Errorf("engine bench regression: %.2fM events/s is %.1f%% of baseline %.2fM (gate: >=%.0f%%)",
+			rec.EventsPerSec/1e6, 100*ratio, base.EventsPerSec/1e6, 100*(1-benchTolerance))
+	}
 	return nil
 }

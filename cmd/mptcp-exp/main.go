@@ -9,12 +9,22 @@
 //	mptcp-exp -run all [-parallel 8] [-trials 5] [-json]
 //	mptcp-exp -exp dynamics [-scenario handover] [-json]
 //	mptcp-exp -exp schedgrid [-sched minrtt+otr+pen] [-json]
+//	mptcp-exp -exp dynamics -json -trace trace.jsonl
+//	mptcp-exp -analyze [-csv out.csv] grid.jsonl trace.jsonl
+//	mptcp-exp -bench-engine BENCH_engine.json [-bench-baseline old.json]
 //
 // Independent trial cells fan out across -parallel workers (default
 // GOMAXPROCS); results are bit-identical for every worker count. With
 // -trials N each experiment repeats N times on base seeds seed..seed+N-1.
 // With -json each trial emits one machine-readable JSON record per line
-// instead of the rendered report.
+// instead of the rendered report; -trace additionally streams the cells'
+// protocol traces (internal/trace JSONL) to a file.
+//
+// -analyze is the offline half: it reads any mix of the JSONL artifacts
+// above (grid cell records, trial records, protocol traces — files can
+// be concatenated freely), aggregates them with streaming summaries, and
+// prints deterministic fixed-width tables; -csv writes the same rows as
+// CSV for plotting. Two runs over the same input render identical bytes.
 package main
 
 import (
@@ -71,10 +81,22 @@ func main() {
 	scenarioID := flag.String("scenario", "", "restrict the dynamics experiment to one scenario (see -list); cell seeds match the full grid")
 	schedSpec := flag.String("sched", "", "restrict the schedgrid experiment to one scheduler spec, e.g. minrtt+otr+pen (see -list); cell seeds match the full grid")
 	jsonOut := flag.Bool("json", false, "emit one JSON record per trial instead of rendered reports")
+	traceOut := flag.String("trace", "", "write per-connection protocol traces (JSONL) to FILE for experiments that support tracing")
+	analyze := flag.Bool("analyze", false, "aggregate JSONL artifacts (grid records, trial records, traces) named as positional args ('-' or none = stdin) into summary tables")
+	csvOut := flag.String("csv", "", "with -analyze, also write the summary rows as CSV to FILE ('-' = stdout)")
 	benchEngine := flag.String("bench-engine", "", "measure the event engine's packet-hop path and write {events_per_sec, allocs_per_op, ns_per_hop} to FILE")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-engine, compare against the baseline record in FILE and fail if events/sec regressed >10%")
 	flag.Parse()
 	if *expID != "" {
 		id = expID
+	}
+
+	if *analyze {
+		if err := runAnalyze(flag.Args(), *csvOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *scenarioID != "" {
 		if _, err := scenario.Build(*scenarioID, 1); err != nil {
@@ -90,7 +112,7 @@ func main() {
 	}
 
 	if *benchEngine != "" {
-		if err := runEngineBench(*benchEngine); err != nil {
+		if err := runEngineBench(*benchEngine, *benchBaseline); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -123,6 +145,21 @@ func main() {
 	}
 
 	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel, Scenario: *scenarioID, Sched: *schedSpec}
+	if *traceOut != "" {
+		// Trials run concurrently and each flushes its own cells to the
+		// trace writer; one traced trial keeps the file deterministic.
+		if *trials > 1 {
+			fmt.Fprintln(os.Stderr, "-trace requires -trials 1 (concurrent trials would interleave trace output)")
+			os.Exit(1)
+		}
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		cfg.TraceW = tf
+	}
 
 	// Stream each trial as soon as it (and its predecessors) finish:
 	// long batches produce output while they run, in deterministic

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"os"
+)
+
+// startDebug serves live runtime introspection on addr for the duration
+// of the transfer: expvar's /debug/vars (Go runtime counters plus the
+// protocol snapshot published below) and net/http/pprof's /debug/pprof/
+// (CPU, heap, goroutine, mutex profiles). stats is polled on every
+// /debug/vars request, so the counters are always the live values —
+// there is no sampling loop to race with the transfer.
+//
+// The bound address is announced on stderr ("debug listening on ...")
+// so callers passing ":0" can discover the port, mirroring the
+// "subflow N listening on" contract the e2e test parses.
+func startDebug(addr, name string, stats func() any) {
+	// expvar and net/http/pprof both hang their handlers on
+	// http.DefaultServeMux at init; publishing the snapshot and serving
+	// the default mux is the whole job. Func's return value is
+	// marshalled as JSON inside /debug/vars.
+	expvar.Publish(name, expvar.Func(stats))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("debug-addr: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "debug listening on %s\n", ln.Addr())
+	go func() {
+		// The server dies with the process; transfers are the lifetime.
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("debug server: %v", err)
+		}
+	}()
+}

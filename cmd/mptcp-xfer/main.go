@@ -9,6 +9,12 @@
 //
 //	mptcp-xfer -send file -to 127.0.0.1:7001,127.0.0.1:7002
 //
+// Either side can serve live introspection while the transfer runs:
+//
+//	mptcp-xfer -send file -to ... -debug-addr localhost:6060
+//	curl -s localhost:6060/debug/vars | jq .mptcp_sender
+//	go tool pprof localhost:6060/debug/pprof/profile
+//
 // For a loopback demo with emulated heterogeneous paths, see
 // examples/mptcpnet.
 package main
@@ -38,20 +44,24 @@ func main() {
 	algName := flag.String("alg", "MPTCP",
 		"congestion control (case-insensitive): "+strings.Join(cc.Names(), ", ")+"\n"+cc.Help())
 	connID := flag.Uint64("conn", 1, "connection ID (must match on both ends)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve live introspection over HTTP on this address (e.g. localhost:6060 or :0):\n"+
+			"/debug/vars has expvar counters incl. the per-subflow protocol snapshot,\n"+
+			"/debug/pprof/ has CPU/heap/goroutine profiles; empty disables")
 	flag.Parse()
 
 	switch {
 	case *recv:
-		runReceiver(*paths, *out, *connID)
+		runReceiver(*paths, *out, *connID, *debugAddr)
 	case *send != "":
-		runSender(*send, *to, *algName, *connID)
+		runSender(*send, *to, *algName, *connID, *debugAddr)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runReceiver(paths int, out string, connID uint64) {
+func runReceiver(paths int, out string, connID uint64, debugAddr string) {
 	var conns []net.PacketConn
 	for i := 0; i < paths; i++ {
 		c, err := net.ListenPacket("udp", ":0")
@@ -62,6 +72,19 @@ func runReceiver(paths int, out string, connID uint64) {
 		conns = append(conns, c)
 	}
 	rx := mptcpnet.NewReceiver(connID, conns, 1024)
+	if debugAddr != "" {
+		startDebug(debugAddr, "mptcp_receiver", func() any {
+			recvd, dup, overflow := rx.Stats()
+			per := make([]int64, paths)
+			for i := range per {
+				per[i] = rx.SubflowReceived(i)
+			}
+			return map[string]any{
+				"received": recvd, "dup_data": dup, "overflow": overflow,
+				"corrupt": rx.Corrupted(), "subflow_received": per,
+			}
+		})
+	}
 	w := io.Writer(os.Stdout)
 	if out != "" {
 		f, err := os.Create(out)
@@ -85,7 +108,7 @@ func runReceiver(paths int, out string, connID uint64) {
 		n, el.Round(time.Millisecond), float64(n)*8/el.Seconds()/1e6, perPath)
 }
 
-func runSender(file, to, algName string, connID uint64) {
+func runSender(file, to, algName string, connID uint64, debugAddr string) {
 	alg, err := cc.New(algName) // registry lookup is case-insensitive
 	if err != nil {
 		log.Fatal(err)
@@ -114,6 +137,11 @@ func runSender(file, to, algName string, connID uint64) {
 	defer f.Close()
 
 	tx := mptcpnet.NewSender(connID, conns, remotes, mptcpnet.Config{Alg: alg})
+	if debugAddr != "" {
+		// mptcpnet.Stats is one coherent snapshot (single lock
+		// acquisition), so /debug/vars never shows torn counters.
+		startDebug(debugAddr, "mptcp_sender", func() any { return tx.Stats() })
+	}
 	start := time.Now()
 	n, err := io.Copy(tx, f)
 	if err != nil {

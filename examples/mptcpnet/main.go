@@ -72,8 +72,8 @@ func main() {
 		got, el.Round(time.Millisecond), float64(got)*8/el.Seconds()/1e6)
 	fmt.Printf("  per-path segments: WiFi %d, 3G %d (distinct data)\n",
 		rx.SubflowReceived(0), rx.SubflowReceived(1))
-	_, retx, reinj := tx.Stats()
+	st := tx.Stats()
 	_, dup, _ := rx.Stats()
-	fmt.Printf("  retransmissions: %d, reinjections: %d, dup data: %d\n", retx, reinj, dup)
+	fmt.Printf("  retransmissions: %d, reinjections: %d, dup data: %d\n", st.SegsRetx, st.Reinjects, dup)
 	fmt.Printf("  final windows: WiFi %.1f segs, 3G %.1f segs\n", tx.Cwnd(0), tx.Cwnd(1))
 }

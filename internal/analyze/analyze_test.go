@@ -1,0 +1,163 @@
+package analyze
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// readTestdata aggregates the checked-in tournament smoke artifact.
+func readTestdata(t *testing.T) *Report {
+	t.Helper()
+	f, err := os.Open("testdata/tournament_smoke.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep := NewReport()
+	if err := rep.Read(f); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestGoldenTournamentTable: the analyzer reproduces the checked-in
+// fig8-style summary table — algorithm × topology rows with streaming
+// statistics — from the checked-in JSONL alone, byte for byte.
+func TestGoldenTournamentTable(t *testing.T) {
+	rep := readTestdata(t)
+	if rep.CellLines != 64 || rep.Skipped != 0 {
+		t.Fatalf("classified %d cell lines (%d skipped), want 64 (0)", rep.CellLines, rep.Skipped)
+	}
+	var got bytes.Buffer
+	if err := rep.Render(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/tournament_smoke.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("rendered table differs from golden\n--- got ---\n%s\n--- want ---\n%s", got.Bytes(), want)
+	}
+}
+
+// TestAnalyzeDeterministic: two independent passes over the same input
+// render identical bytes, table and CSV alike — the contract CI's
+// stability step asserts end to end.
+func TestAnalyzeDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		rep := readTestdata(t)
+		var tab, csv bytes.Buffer
+		if err := rep.Render(&tab); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return tab.String(), csv.String()
+	}
+	t1, c1 := render()
+	t2, c2 := render()
+	if t1 != t2 {
+		t.Error("table output not deterministic")
+	}
+	if c1 != c2 {
+		t.Error("CSV output not deterministic")
+	}
+	if !strings.HasPrefix(c1, "id,algorithm,topology,scenario,scheduler,recv_buf,metric,n,mean,stddev,min,p50,p95,p99,max\n") {
+		t.Errorf("CSV header wrong:\n%s", c1[:min(len(c1), 200)])
+	}
+}
+
+// TestTraceAggregation: trace JSONL (as internal/trace flushes it) is
+// classified by the "ev" field, grouped by (label from the enclosing
+// meta line, event kind), and rtt/cwnd values are summarised.
+func TestTraceAggregation(t *testing.T) {
+	in := strings.Join([]string{
+		`{"ev":"meta","conn":-1,"label":"MPTCP/torus/flap","events":2,"dropped":0}`,
+		`{"ev":"link","t":100,"name":"A/ab","what":"down","v":0}`,
+		`{"ev":"link","t":200,"name":"A/ab","what":"up","v":0}`,
+		`{"ev":"meta","conn":0,"label":"MPTCP/torus/flap","events":3,"dropped":5}`,
+		`{"ev":"rtt","t":300,"conn":0,"sub":0,"rtt_s":0.1}`,
+		`{"ev":"rtt","t":400,"conn":0,"sub":1,"rtt_s":0.3}`,
+		`{"ev":"cwnd","t":500,"conn":0,"sub":0,"cwnd":12}`,
+	}, "\n")
+	rep := NewReport()
+	if err := rep.Read(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceLines != 7 || rep.Skipped != 0 {
+		t.Fatalf("trace lines %d (skipped %d), want 7 (0)", rep.TraceLines, rep.Skipped)
+	}
+	secs := rep.Sections()
+	if len(secs) != 1 || !strings.HasPrefix(secs[0].Title, "Trace events") {
+		t.Fatalf("sections = %+v, want one trace section", secs)
+	}
+	// Rows sort by (label, ev): (dropped), cwnd, link, rtt.
+	find := func(ev string) []string {
+		for _, r := range secs[0].Rows {
+			if r[1] == ev {
+				return r
+			}
+		}
+		t.Fatalf("no row for ev %q in %v", ev, secs[0].Rows)
+		return nil
+	}
+	if r := find("link"); r[0] != "MPTCP/torus/flap" || r[2] != "2" {
+		t.Errorf("link row = %v", r)
+	}
+	if r := find("(dropped)"); r[2] != "5" {
+		t.Errorf("dropped row = %v, want count 5", r)
+	}
+	rtt := find("rtt")
+	if rtt[2] != "2" || rtt[3] != "rtt_s" || rtt[5] != "0.2" {
+		t.Errorf("rtt row = %v, want count 2, metric rtt_s, mean 0.2", rtt)
+	}
+	cwnd := find("cwnd")
+	if cwnd[3] != "cwnd" || cwnd[5] != "12" {
+		t.Errorf("cwnd row = %v, want metric cwnd mean 12", cwnd)
+	}
+}
+
+// TestMixedAndMalformedInput: trial records, blank lines and garbage
+// coexist; garbage is counted, never fatal.
+func TestMixedAndMalformedInput(t *testing.T) {
+	in := strings.Join([]string{
+		`{"id":"fig8-torus","ref":"fig 8","trial":0,"seed":42,"scale":1,"wall_s":1.5,"metrics":{"mbps":10}}`,
+		``,
+		`not json at all`,
+		`{"unrelated":true}`,
+		`{"id":"fig8-torus","trial":1,"seed":43,"scale":1,"wall_s":1.7,"metrics":{"mbps":14}}`,
+	}, "\n")
+	rep := NewReport()
+	if err := rep.Read(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrialLines != 2 || rep.Skipped != 2 {
+		t.Fatalf("trials %d skipped %d, want 2 and 2", rep.TrialLines, rep.Skipped)
+	}
+	var out bytes.Buffer
+	if err := rep.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Trials (2 records)", "fig8-torus", "wall_s", "(2 unrecognised lines skipped)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestCSVQuoting: cells containing separators are quoted per RFC 4180.
+func TestCSVQuoting(t *testing.T) {
+	var b bytes.Buffer
+	if err := csvRow(&b, []string{`plain`, `a,b`, `he said "hi"`}); err != nil {
+		t.Fatal(err)
+	}
+	want := "plain,\"a,b\",\"he said \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("csvRow = %q, want %q", b.String(), want)
+	}
+}

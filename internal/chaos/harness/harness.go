@@ -281,7 +281,7 @@ func Run(cfg Config) (*Result, error) {
 		res.PathStats.Reordered += st.Reordered
 	}
 	for _, sk := range sockets {
-		res.Corrupted += sk.rx.Corrupted() + sk.tx.Corrupted()
+		res.Corrupted += sk.rx.Corrupted() + sk.tx.Stats().Corrupt
 	}
 	log.Emit(chaos.Event{Ev: "run-end", Seed: cfg.Seed,
 		Detail: fmt.Sprintf("completed=%d errored=%d violations=%d", res.Completed, res.Errored, len(res.Violations))})

@@ -10,6 +10,7 @@ import (
 	"mptcp/internal/scenario"
 	"mptcp/internal/sim"
 	"mptcp/internal/topo"
+	"mptcp/internal/trace"
 	"mptcp/internal/transport"
 )
 
@@ -55,6 +56,9 @@ type dynOut struct {
 	recovery float64 // multipath aggregate over the final tenth of the run
 	jain     float64 // Jain's index over all persistent flows
 	churn    float64 // flows spawned by the scenario (churn script only)
+	// tr is the cell's protocol trace, nil unless Config.TraceW enabled
+	// tracing; runDynamics flushes the cells' tracers in cell order.
+	tr *trace.Tracer
 }
 
 func runDynamics(cfg Config) *Result {
@@ -141,16 +145,41 @@ func runDynamics(cfg Config) *Result {
 	}
 	res.note("every algorithm must survive flaps, ramps, churn and handover on every topology; recovery is the final tenth of the run, after the last disturbance")
 	res.Tables = append(res.Tables, table)
+	// Flush the cells' traces sequentially in cell order: the trace
+	// bytes, like the Records above, are then identical at any
+	// Parallelism. No-op (nil tracers) unless Config.TraceW is set.
+	if cfg.TraceW != nil {
+		for i := range cells {
+			if err := cells[i].tr.Flush(cfg.TraceW); err != nil {
+				res.note("trace flush failed: %v", err)
+				break
+			}
+		}
+	}
 	return res
 }
 
 // runDynCell simulates one grid cell: build the topology's flows, bind
 // and install the scenario script, then measure over [warm, end] with a
-// post-disturbance recovery window over the final tenth.
+// post-disturbance recovery window over the final tenth. With tracing
+// enabled the cell gets a private tracer (returned in dynOut for the
+// grid to flush in cell order); the builders hand it to every
+// connection and the scenario's scriptable links report state changes
+// into it.
 func runDynCell(cell Config, tp dynTopo, scen string, alg core.Algorithm) dynOut {
-	w := newWorld(cell.Seed)
+	var w *world
+	if cell.TraceW != nil {
+		w = newTracedWorld(cell.Seed, alg.Name()+"/"+tp.name+"/"+scen)
+	} else {
+		w = newWorld(cell.Seed)
+	}
 	warm, end := cell.dur(dynWarm), cell.dur(dynEnd)
 	env, all, mp := tp.build(w, alg)
+	if w.tr != nil {
+		for _, d := range env.Links {
+			d.Trace(w.tr)
+		}
+	}
 	sc := scenario.MustBuild(scen, end)
 	sc.MustInstall(env)
 
@@ -174,6 +203,7 @@ func runDynCell(cell Config, tp dynTopo, scen string, alg core.Algorithm) dynOut
 	}
 	out.jain = model.JainIndex(rates)
 	out.churn = float64(env.ChurnArrivals)
+	out.tr = w.tr
 	return out
 }
 
@@ -201,8 +231,9 @@ func dynTorus(w *world, alg core.Algorithm) (*scenario.Env, []*transport.Conn, [
 	conns := make([]*transport.Conn, 5)
 	for i := range conns {
 		conns[i] = transport.NewConn(w.n, transport.Config{
-			Alg:   freshAlg(alg),
-			Paths: tor.FlowPaths(i),
+			Alg:    freshAlg(alg),
+			Paths:  tor.FlowPaths(i),
+			Tracer: w.tr,
 		})
 		conns[i].Start()
 	}
@@ -211,6 +242,7 @@ func dynTorus(w *world, alg core.Algorithm) (*scenario.Env, []*transport.Conn, [
 		c := transport.NewConn(w.n, transport.Config{
 			Paths:       []transport.Path{topo.PathThrough(tor.Links[w.s.Rand().Intn(5)])},
 			DataPackets: pkts,
+			Tracer:      w.tr,
 		})
 		c.Start()
 	}
@@ -226,7 +258,7 @@ func dynDualHomed(w *world, alg core.Algorithm) (*scenario.Env, []*transport.Con
 	var all []*transport.Conn
 	addTCP := func(link, n int) {
 		for i := 0; i < n; i++ {
-			c := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(link)})
+			c := transport.NewConn(w.n, transport.Config{Paths: d.ClientPath(link), Tracer: w.tr})
 			c.Start()
 			all = append(all, c)
 		}
@@ -235,7 +267,7 @@ func dynDualHomed(w *world, alg core.Algorithm) (*scenario.Env, []*transport.Con
 	addTCP(2, 6)
 	var mp []*transport.Conn
 	for i := 0; i < 4; i++ {
-		c := transport.NewConn(w.n, transport.Config{Alg: freshAlg(alg), Paths: d.MultipathPaths()})
+		c := transport.NewConn(w.n, transport.Config{Alg: freshAlg(alg), Paths: d.MultipathPaths(), Tracer: w.tr})
 		c.Start()
 		all = append(all, c)
 		mp = append(mp, c)
@@ -245,6 +277,7 @@ func dynDualHomed(w *world, alg core.Algorithm) (*scenario.Env, []*transport.Con
 		c := transport.NewConn(w.n, transport.Config{
 			Paths:       d.ClientPath(1 + w.s.Rand().Intn(2)),
 			DataPackets: pkts,
+			Tracer:      w.tr,
 		})
 		c.Start()
 	}
@@ -256,9 +289,9 @@ func dynDualHomed(w *world, alg core.Algorithm) (*scenario.Env, []*transport.Con
 // spawns short downloads over WiFi — neighbours on the same basestation.
 func dynWiFi3G(w *world, alg core.Algorithm) (*scenario.Env, []*transport.Conn, []*transport.Conn) {
 	wl := busyWireless()
-	mp := transport.NewConn(w.n, transport.Config{Alg: freshAlg(alg), Paths: wl.Paths()})
-	tcpW := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[:1]})
-	tcpG := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[1:]})
+	mp := transport.NewConn(w.n, transport.Config{Alg: freshAlg(alg), Paths: wl.Paths(), Tracer: w.tr})
+	tcpW := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[:1], Tracer: w.tr})
+	tcpG := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[1:], Tracer: w.tr})
 	mp.Start()
 	tcpW.Start()
 	tcpG.Start()
@@ -267,6 +300,7 @@ func dynWiFi3G(w *world, alg core.Algorithm) (*scenario.Env, []*transport.Conn, 
 		c := transport.NewConn(w.n, transport.Config{
 			Paths:       []transport.Path{topo.PathThrough(wl.WiFi)},
 			DataPackets: pkts,
+			Tracer:      w.tr,
 		})
 		c.Start()
 	}

@@ -16,6 +16,7 @@ import (
 	"mptcp/internal/core"
 	"mptcp/internal/netsim"
 	"mptcp/internal/sim"
+	"mptcp/internal/trace"
 	"mptcp/internal/transport"
 )
 
@@ -40,6 +41,14 @@ type Config struct {
 	// scheduler spec (e.g. "minrtt+otr+pen"); empty runs the full grid.
 	// Like Scenario, filtering never changes a cell's derived seed.
 	Sched string
+	// TraceW, when non-nil, enables protocol tracing in experiments that
+	// support it (currently the dynamics grid): each cell records its
+	// connections' events into a private internal/trace tracer, and the
+	// cells' traces are flushed to TraceW as JSONL in cell order after
+	// the grid completes — so the trace bytes, like the results, are
+	// identical at any Parallelism. Tracing never perturbs simulation
+	// results: enabled and disabled runs produce bit-identical Records.
+	TraceW io.Writer
 }
 
 func (c Config) norm() Config {
@@ -245,11 +254,25 @@ func newAlg(name string) core.Algorithm {
 type world struct {
 	s *sim.Simulator
 	n *netsim.Net
+	// tr is the cell's protocol tracer: nil (tracing disabled, the
+	// default) unless the experiment opted in via newTracedWorld.
+	// Builders pass it to transport.NewConn as Config.Tracer.
+	tr *trace.Tracer
 }
 
 func newWorld(seed int64) *world {
 	s := sim.New(seed)
 	return &world{s: s, n: netsim.NewNet(s)}
+}
+
+// newTracedWorld is newWorld plus a cell-private tracer on the
+// simulator's clock, labelled so concatenated flushes stay
+// attributable. Used by grid cells when Config.TraceW is set.
+func newTracedWorld(seed int64, label string) *world {
+	w := newWorld(seed)
+	w.tr = trace.New(0, trace.SimNow(w.s))
+	w.tr.SetLabel(label)
+	return w
 }
 
 // measure runs the simulation to warm, snapshots flow progress, runs to

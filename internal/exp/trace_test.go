@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"reflect"
+	"testing"
+)
+
+var updateTrace = flag.Bool("update-trace-golden", false,
+	"rewrite testdata/trace_wifi3g_flap.golden.jsonl from the current engine")
+
+// traceWiFi3GFlapCell runs the fixed reference cell — MPTCP on the
+// WiFi+3G topology under the flap scenario, seed CellSeed(5, 0), scale
+// 0.02 — with tracing on and returns the flushed trace bytes.
+func traceWiFi3GFlapCell(t *testing.T) ([]byte, dynOut) {
+	t.Helper()
+	var sink bytes.Buffer
+	cell := Config{Scale: 0.02, TraceW: &sink}.norm()
+	cell.Seed = CellSeed(5, 0)
+	out := runDynCell(cell, dynTopos()[2], "flap", newAlg("MPTCP"))
+	var b bytes.Buffer
+	if err := out.tr.Flush(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes(), out
+}
+
+// TestTraceGoldenWiFi3GFlap pins the trace JSONL of a fixed-seed cell
+// byte for byte against the checked-in golden: the event stream —
+// timestamps, ordering, float rendering — is part of the deterministic
+// surface, exactly like the metric goldens above. If an intentional
+// protocol or tracer change alters the stream, regenerate with
+//
+//	go test ./internal/exp/ -run TestTraceGoldenWiFi3GFlap -update-trace-golden
+//
+// and say why in the commit message.
+func TestTraceGoldenWiFi3GFlap(t *testing.T) {
+	got, _ := traceWiFi3GFlapCell(t)
+	const path = "testdata/trace_wifi3g_flap.golden.jsonl"
+	if *updateTrace {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("trace diverges from golden at line %d:\n  got:  %s\n  want: %s\n(got %d lines, want %d; regenerate with -update-trace-golden if intentional)",
+					i+1, gl[i], wl[i], len(gl), len(wl))
+			}
+		}
+		t.Fatalf("trace length diverges from golden: got %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+// TestTraceDeterministicAcrossParallelism extends the runner's core
+// guarantee to the trace artifact: the dynamics grid's concatenated
+// trace file is byte-identical whether cells run on one worker or
+// eight, because each cell records into a private tracer and the grid
+// flushes them sequentially in cell order.
+func TestTraceDeterministicAcrossParallelism(t *testing.T) {
+	e, _ := Get("dynamics")
+	run := func(par int) []byte {
+		var b bytes.Buffer
+		e.Run(Config{Seed: 5, Scale: 0.02, Parallelism: par, Scenario: "flap", TraceW: &b})
+		return b.Bytes()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial) == 0 {
+		t.Fatal("traced dynamics run produced no trace output")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("trace bytes diverge across parallelism: %d vs %d bytes", len(serial), len(parallel))
+	}
+	if again := run(8); !bytes.Equal(parallel, again) {
+		t.Error("two same-seed traced runs diverge (hidden shared state?)")
+	}
+}
+
+// TestTracingDoesNotPerturbResults: enabling tracing must leave the
+// simulation bit-identical — the tracer only observes, never draws from
+// the world RNG or changes event timing. Metrics and per-cell Records
+// of traced and untraced same-seed runs must be DeepEqual.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	e, _ := Get("dynamics")
+	cfg := Config{Seed: 5, Scale: 0.02, Parallelism: 4, Scenario: "flap"}
+	plain := e.Run(cfg)
+	var b bytes.Buffer
+	traced := cfg
+	traced.TraceW = &b
+	withTrace := e.Run(traced)
+	if !reflect.DeepEqual(plain.Metrics, withTrace.Metrics) {
+		t.Errorf("tracing perturbed metrics:\n  off: %v\n  on:  %v", plain.Metrics, withTrace.Metrics)
+	}
+	if !reflect.DeepEqual(plain.Records, withTrace.Records) {
+		t.Error("tracing perturbed per-cell records")
+	}
+	if b.Len() == 0 {
+		t.Error("traced run wrote no trace output")
+	}
+}
+
+// TestTraceStreamShape sanity-checks the reference cell's stream: the
+// flap scenario must surface link down/up events, and a live MPTCP
+// transfer must produce RTT samples and cwnd changes.
+func TestTraceStreamShape(t *testing.T) {
+	got, _ := traceWiFi3GFlapCell(t)
+	for _, want := range []string{
+		`"ev":"meta"`, `"label":"MPTCP/wifi3g/flap"`,
+		`"ev":"link"`, `"what":"down"`, `"what":"up"`,
+		`"ev":"rtt"`, `"ev":"cwnd"`,
+	} {
+		if !bytes.Contains(got, []byte(want)) {
+			t.Errorf("trace stream missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory
+// using the P² algorithm (Jain & Chlamtac, "The P² Algorithm for
+// Dynamic Calculation of Quantiles and Histograms Without Storing
+// Observations", CACM 1985): five markers track the minimum, the
+// target quantile, the midpoints and the maximum, and each observation
+// nudges the inner markers toward their ideal positions with a
+// piecewise-parabolic height update. The estimator is deterministic —
+// same observation sequence, same estimate — so it composes with the
+// repo's bit-identical-results contract, and it lets -analyze digest
+// traces and grids of any size without holding every sample.
+type P2Quantile struct {
+	p     float64    // target quantile in (0,1)
+	n     int64      // observations seen
+	q     [5]float64 // marker heights
+	pos   [5]float64 // marker positions (1-based)
+	want  [5]float64 // desired marker positions
+	dwant [5]float64 // desired-position increments per observation
+	init  []float64  // first five observations, before the markers exist
+}
+
+// NewP2Quantile returns an estimator for quantile p in (0,1), e.g. 0.95.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("metrics: P² quantile must be in (0,1)")
+	}
+	return &P2Quantile{
+		p:     p,
+		dwant: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+		init:  make([]float64, 0, 5),
+	}
+}
+
+// Add folds one observation into the estimate.
+func (e *P2Quantile) Add(x float64) {
+	e.n++
+	if len(e.init) < 5 {
+		e.init = append(e.init, x)
+		if len(e.init) == 5 {
+			sort.Float64s(e.init)
+			copy(e.q[:], e.init)
+			e.pos = [5]float64{1, 2, 3, 4, 5}
+			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x, extending the extremes if needed.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.dwant[i]
+	}
+
+	// Nudge each inner marker toward its desired position.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sgn := 1.0
+			if d < 0 {
+				sgn = -1.0
+			}
+			// Piecewise-parabolic (P²) height prediction; fall back to
+			// linear interpolation when it would break monotonicity.
+			qp := e.parabolic(i, sgn)
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, sgn)
+			}
+			e.pos[i] += sgn
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact order statistic of what has
+// been seen (0 when empty).
+func (e *P2Quantile) Value() float64 {
+	if e.n >= 5 {
+		return e.q[2]
+	}
+	if len(e.init) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), e.init...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(e.p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// N returns the number of observations folded in.
+func (e *P2Quantile) N() int64 { return e.n }
+
+// Summary is the streaming aggregate -analyze reports per metric: count,
+// mean/stddev (Welford's single-pass update), extremes, and P² estimates
+// of the median and tail quantiles. Memory is O(1) per metric regardless
+// of how many cell records or trace events feed it. The zero value is
+// not usable; construct with NewSummary.
+type Summary struct {
+	n             int64
+	mean, m2      float64
+	min, max      float64
+	p50, p95, p99 *P2Quantile
+}
+
+// NewSummary returns an empty streaming summary.
+func NewSummary() *Summary {
+	return &Summary{
+		min: math.Inf(1), max: math.Inf(-1),
+		p50: NewP2Quantile(0.50),
+		p95: NewP2Quantile(0.95),
+		p99: NewP2Quantile(0.99),
+	}
+}
+
+// Add folds one observation in.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	s.p50.Add(x)
+	s.p95.Add(x)
+	s.p99.Add(x)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the running mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Stddev returns the population standard deviation (0 for n < 2).
+func (s *Summary) Stddev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// P50 returns the streaming median estimate.
+func (s *Summary) P50() float64 { return s.p50.Value() }
+
+// P95 returns the streaming 95th-percentile estimate.
+func (s *Summary) P95() float64 { return s.p95.Value() }
+
+// P99 returns the streaming 99th-percentile estimate.
+func (s *Summary) P99() float64 { return s.p99.Value() }

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestP2SmallInputs: below five observations the estimator answers with
+// the exact order statistic.
+func TestP2SmallInputs(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if v := e.Value(); v != 0 {
+		t.Fatalf("empty estimator = %v, want 0", v)
+	}
+	for _, x := range []float64{5, 1, 3} {
+		e.Add(x)
+	}
+	if v := e.Value(); v != 3 {
+		t.Fatalf("median of {5,1,3} = %v, want 3", v)
+	}
+	if e.N() != 3 {
+		t.Fatalf("N = %d, want 3", e.N())
+	}
+}
+
+// TestP2Accuracy: against known distributions the P² estimate must land
+// within a few percent of the exact percentile.
+func TestP2Accuracy(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 100 }},
+		{"normal", func(r *rand.Rand) float64 { return 50 + 10*r.NormFloat64() }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 10 }},
+	}
+	for _, tc := range cases {
+		for _, p := range []float64{0.5, 0.95, 0.99} {
+			r := rand.New(rand.NewSource(42))
+			e := NewP2Quantile(p)
+			xs := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				x := tc.gen(r)
+				e.Add(x)
+				xs = append(xs, x)
+			}
+			exact := Percentile(xs, p*100)
+			got := e.Value()
+			// Relative to the distribution's spread, not the value: the
+			// exponential p50 is small but the tail is long.
+			spread := Percentile(xs, 99) - Percentile(xs, 1)
+			if math.Abs(got-exact) > 0.05*spread {
+				t.Errorf("%s p%g: P²=%.3f exact=%.3f (spread %.3f)", tc.name, p*100, got, exact, spread)
+			}
+		}
+	}
+}
+
+// TestP2Deterministic: identical observation sequences give bit-equal
+// estimates (no internal randomness).
+func TestP2Deterministic(t *testing.T) {
+	run := func() float64 {
+		r := rand.New(rand.NewSource(7))
+		e := NewP2Quantile(0.95)
+		for i := 0; i < 5000; i++ {
+			e.Add(r.ExpFloat64())
+		}
+		return e.Value()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("P² not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestP2Monotone: the estimate stays within the observed range.
+func TestP2Monotone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	e := NewP2Quantile(0.95)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 10000; i++ {
+		x := r.NormFloat64()
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+		e.Add(x)
+		if i >= 5 {
+			if v := e.Value(); v < lo || v > hi {
+				t.Fatalf("estimate %v escaped observed range [%v,%v] at n=%d", v, lo, hi, i+1)
+			}
+		}
+	}
+}
+
+// TestP2BadQuantile: quantiles outside (0,1) are a construction error.
+func TestP2BadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+// TestSummary: Welford mean/stddev agree with the exact batch formulas,
+// extremes are exact, quantiles near-exact.
+func TestSummary(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	s := NewSummary()
+	xs := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		x := 100 + 15*r.NormFloat64()
+		s.Add(x)
+		xs = append(xs, x)
+	}
+	if s.N() != 10000 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if m := Mean(xs); math.Abs(s.Mean()-m) > 1e-9*math.Abs(m) {
+		t.Errorf("mean %v, exact %v", s.Mean(), m)
+	}
+	if sd := Stddev(xs); math.Abs(s.Stddev()-sd) > 1e-6*sd {
+		t.Errorf("stddev %v, exact %v", s.Stddev(), sd)
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		min, max = math.Min(min, x), math.Max(max, x)
+	}
+	if s.Min() != min || s.Max() != max {
+		t.Errorf("extremes (%v,%v), exact (%v,%v)", s.Min(), s.Max(), min, max)
+	}
+	if p95 := Percentile(xs, 95); math.Abs(s.P95()-p95) > 0.5 {
+		t.Errorf("p95 %v, exact %v", s.P95(), p95)
+	}
+}
+
+// TestSummaryEmpty: the empty summary reports zeros, not infinities.
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary()
+	if s.N() != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 || s.P50() != 0 {
+		t.Fatalf("empty summary leaks state: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"mptcp/internal/cc"
 	"mptcp/internal/core"
 	"mptcp/internal/sched"
+	"mptcp/internal/trace"
 )
 
 // Config parameterises a sender.
@@ -31,6 +32,12 @@ type Config struct {
 	MinRTO time.Duration
 	// Logf, if set, receives debug traces.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records the sender's protocol events (cwnd
+	// changes, RTT samples, losses, retransmissions, scheduler picks, §6
+	// countermeasures) into internal/trace ring buffers, stamped on the
+	// tracer's clock — construct it with trace.WallNow for this wall-
+	// clock stack. nil (the default) disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Sender is the transmitting side of a multipath connection. It
@@ -80,7 +87,7 @@ type Sender struct {
 	done       chan struct{} // closed once the stream is fully acknowledged
 	doneClosed bool
 
-	// Stats, guarded by mu; read via Stats() and SchedStats().
+	// Counters, guarded by mu; snapshotted coherently by Stats().
 	segsSent  int64
 	segsRetx  int64
 	reinjects int64
@@ -90,6 +97,11 @@ type Sender struct {
 	// corrupt counts inbound frames dropped by the checksum; atomic (not
 	// mu) because readLoop bumps it without taking the connection lock.
 	corrupt atomic.Int64
+
+	// tracer is nil unless Config.Tracer enabled tracing; traceID is the
+	// sender's tracer-scoped connection ID.
+	tracer  *trace.Tracer
+	traceID int32
 }
 
 type sendSubflow struct {
@@ -192,7 +204,9 @@ func NewSender(connID uint64, conns []net.PacketConn, remotes []net.Addr, cfg Co
 		edge:   defaultWindow,
 		done:   make(chan struct{}),
 		oppSeq: -1,
+		tracer: cfg.Tracer,
 	}
+	s.traceID = cfg.Tracer.ConnID() // nil-safe: -1 when tracing is off
 	s.rttObs, _ = s.alg.(cc.RTTObserver)
 	s.lossObs, _ = s.alg.(cc.LossObserver)
 	if d, ok := s.sched.(sched.Duplicator); ok {
@@ -347,34 +361,42 @@ func (s *Sender) Cwnd(i int) float64 {
 	return s.cc[i].Cwnd
 }
 
-// Stats returns the sender's counters: data segments transmitted,
-// subflow-level retransmissions, and data reinjections onto other
-// subflows after timeouts.
-func (s *Sender) Stats() (sent, retx, reinjects int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.segsSent, s.segsRetx, s.reinjects
+// Stats is one coherent snapshot of the sender's counters, taken under
+// a single lock acquisition so the fields are mutually consistent. It
+// replaces the former multi-return Stats()/SchedStats()/Corrupted()
+// trio, whose separate calls could interleave with progress and whose
+// counters therefore never described one instant.
+type Stats struct {
+	SegsSent  int64 // data segments transmitted (incl. retransmissions)
+	SegsRetx  int64 // subflow-level retransmissions
+	Reinjects int64 // data reinjections onto other subflows after RTOs
+	OppRetx   int64 // §6 opportunistic retransmissions of a blocking segment
+	Penalties int64 // §6 penalization window halvings
+	Corrupt   int64 // inbound frames dropped by the checksum
+	// SubflowSent is the count of segments assigned to each subflow
+	// (its subflow-sequence high-water mark), indexed by subflow ID.
+	SubflowSent []int64
 }
 
-// SchedStats returns the receive-buffer countermeasure counters (§6):
-// opportunistic retransmissions of a blocking segment onto a faster
-// subflow, and penalization window halvings of the blocking subflow.
-// Both stay 0 unless Config.SchedOpts enables the countermeasures.
-func (s *Sender) SchedStats() (oppRetx, penalties int64) {
+// Stats returns a coherent snapshot of every sender counter. OppRetx
+// and Penalties stay 0 unless Config.SchedOpts enables the §6
+// countermeasures.
+func (s *Sender) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.oppRetx, s.penalties
-}
-
-// Corrupted returns the count of inbound frames dropped because their
-// checksum did not verify.
-func (s *Sender) Corrupted() int64 { return s.corrupt.Load() }
-
-// SubflowSent returns the count of segments assigned to subflow i.
-func (s *Sender) SubflowSent(i int) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.subs[i].sndNxt
+	st := Stats{
+		SegsSent:    s.segsSent,
+		SegsRetx:    s.segsRetx,
+		Reinjects:   s.reinjects,
+		OppRetx:     s.oppRetx,
+		Penalties:   s.penalties,
+		Corrupt:     s.corrupt.Load(),
+		SubflowSent: make([]int64, len(s.subs)),
+	}
+	for i, sf := range s.subs {
+		st.SubflowSent[i] = sf.sndNxt
+	}
+	return st
 }
 
 // popData returns the next data sequence to send, preferring
@@ -431,6 +453,9 @@ func (s *Sender) pumpLocked() {
 			return
 		}
 		sf.sendData(seq)
+		if s.tracer != nil {
+			s.tracer.SchedPick(s.traceID, int32(sf.id), seq)
+		}
 	}
 }
 
@@ -556,6 +581,9 @@ func (s *Sender) rbufCountermeasuresLocked() {
 			}
 			cw.SSThresh = cw.Cwnd
 			s.penalties++
+			if s.tracer != nil {
+				s.tracer.Penalty(s.traceID, int32(blocker.id), cw.Cwnd)
+			}
 		}
 		d := blocker.srtt
 		if d <= 0 {
@@ -576,6 +604,9 @@ func (s *Sender) rbufCountermeasuresLocked() {
 			s.subs[best].sendData(s.dataUna)
 			s.oppSeq = s.dataUna
 			s.oppRetx++
+			if s.tracer != nil {
+				s.tracer.OppRetx(s.traceID, int32(best), s.dataUna)
+			}
 		}
 	}
 }
@@ -638,6 +669,9 @@ func (sf *sendSubflow) transmit(seq int64, retx bool) {
 	m.retx = m.retx || retx
 	if retx {
 		s.segsRetx++
+		if s.tracer != nil {
+			s.tracer.Retx(s.traceID, int32(sf.id), seq)
+		}
 	}
 	// Arm only if no timer is pending: the RTO must track the oldest
 	// outstanding segment, not the most recent transmission.
@@ -841,6 +875,9 @@ func (s *Sender) handleAck(sf *sendSubflow, h *header) {
 		if sf.inRec && ack >= sf.recover {
 			sf.inRec = false
 			sf.dupSacks = 0
+			if s.tracer != nil {
+				s.tracer.SubflowState(s.traceID, int32(sf.id), "open")
+			}
 		}
 		if !sf.inRec {
 			for i := int64(0); i < newly; i++ {
@@ -849,6 +886,9 @@ func (s *Sender) handleAck(sf *sendSubflow, h *header) {
 				} else {
 					cc.Cwnd += s.alg.Increase(s.cc, sf.id)
 				}
+			}
+			if s.tracer != nil {
+				s.tracer.CwndChange(s.traceID, int32(sf.id), cc.Cwnd)
 			}
 		}
 		sf.armTimer()
@@ -882,6 +922,11 @@ func (s *Sender) fastRetransmit(sf *sendSubflow) {
 	}
 	cc.Cwnd = s.alg.Decrease(s.cc, sf.id)
 	cc.SSThresh = cc.Cwnd
+	if s.tracer != nil {
+		s.tracer.Loss(s.traceID, int32(sf.id), "fast", sf.sndUna)
+		s.tracer.CwndChange(s.traceID, int32(sf.id), cc.Cwnd)
+		s.tracer.SubflowState(s.traceID, int32(sf.id), "recovery")
+	}
 	sf.inRec = true
 	sf.recover = sf.sndNxt
 	sf.dupSacks = 0
@@ -925,6 +970,10 @@ func (sf *sendSubflow) onRTO() {
 	cc.Cwnd = 1
 	sf.inRec = false
 	sf.dupSacks = 0
+	if s.tracer != nil {
+		s.tracer.Loss(s.traceID, int32(sf.id), "rto", sf.sndUna)
+		s.tracer.CwndChange(s.traceID, int32(sf.id), cc.Cwnd)
+	}
 	for seq, m := range sf.meta {
 		if m.sacked || seq < sf.sndUna {
 			continue
@@ -963,6 +1012,9 @@ func (sf *sendSubflow) sampleRTT(rtt time.Duration) {
 	sf.parent.cc[sf.id].SRTT = sf.srtt.Seconds()
 	if obs := sf.parent.rttObs; obs != nil {
 		obs.OnRTTSample(sf.parent.cc, sf.id, rtt.Seconds())
+	}
+	if tr := sf.parent.tracer; tr != nil {
+		tr.RTTSample(sf.parent.traceID, int32(sf.id), rtt.Seconds())
 	}
 	rto := sf.srtt + 4*sf.rttvar
 	if rto < sf.parent.cfg.MinRTO {

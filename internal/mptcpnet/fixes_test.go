@@ -243,8 +243,8 @@ func TestNoSpuriousRetxOnCleanPipe(t *testing.T) {
 	if err := tx.Wait(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if _, retx, _ := tx.Stats(); retx != 0 {
-		t.Errorf("loss-free pipe saw %d retransmissions, want 0", retx)
+	if st := tx.Stats(); st.SegsRetx != 0 {
+		t.Errorf("loss-free pipe saw %d retransmissions, want 0", st.SegsRetx)
 	}
 }
 

@@ -171,7 +171,7 @@ func TestTwoPathsClean(t *testing.T) {
 	if rx.SubflowReceived(0) == 0 || rx.SubflowReceived(1) == 0 {
 		t.Errorf("both subflows should carry data: %d/%d", rx.SubflowReceived(0), rx.SubflowReceived(1))
 	}
-	if sent, _, _ := tx.Stats(); sent == 0 {
+	if st := tx.Stats(); st.SegsSent == 0 {
 		t.Error("sender reported no segments")
 	}
 }
@@ -180,7 +180,7 @@ func TestLossyPathRecovery(t *testing.T) {
 	tx, _ := transfer(t, 300<<10, 2, func(i int) (net.PacketConn, net.PacketConn, net.Addr) {
 		return pipePair(t, 2*time.Millisecond, 0.03, 0, 100+int64(i))
 	}, Config{}, 60*time.Second)
-	if _, retx, _ := tx.Stats(); retx == 0 {
+	if st := tx.Stats(); st.SegsRetx == 0 {
 		t.Error("3% loss must cause retransmissions")
 	}
 }
@@ -243,7 +243,7 @@ func TestPathDeathReinjection(t *testing.T) {
 			emus[1].SetLossRate(1.0)
 		})
 	})
-	if _, _, reinj := tx.Stats(); reinj == 0 {
+	if st := tx.Stats(); st.Reinjects == 0 {
 		t.Error("path death should have triggered data reinjection")
 	}
 }

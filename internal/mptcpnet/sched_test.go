@@ -40,7 +40,7 @@ func TestRedundantSurvivesDeadPathOverSockets(t *testing.T) {
 	if rx.SubflowReceived(0) == 0 {
 		t.Error("the live path delivered nothing")
 	}
-	if sent, _, _ := tx.Stats(); sent == 0 {
+	if st := tx.Stats(); st.SegsSent == 0 {
 		t.Error("sender reported no segments")
 	}
 }
@@ -97,7 +97,8 @@ func TestCountermeasuresOverSockets(t *testing.T) {
 	if got != len(data) {
 		t.Fatalf("got %d bytes, want %d", got, len(data))
 	}
-	oppRetx, penalties := tx.SchedStats()
+	st := tx.Stats()
+	oppRetx, penalties := st.OppRetx, st.Penalties
 	if oppRetx == 0 && penalties == 0 {
 		t.Error("neither countermeasure fired under a blocking shared buffer")
 	}

@@ -28,6 +28,12 @@ type Link struct {
 	QueueCap  int      // drop-tail buffer size in packets (incl. the one in service)
 	LossRate  float64  // i.i.d. random drop probability on arrival
 
+	// Tracer, when non-nil, observes state changes made through the
+	// setter methods (SetRate, SetDelay, SetDown, SetLossRate). It is
+	// consulted only on those control-plane calls, never on the per-
+	// packet path, so tracing costs nothing per hop.
+	Tracer LinkTracer
+
 	down bool
 
 	// lastDepart is the departure time of the most recently accepted
@@ -85,10 +91,25 @@ func NewLinkPktPerSec(name string, pktPerSec float64, delay sim.Time, queueCap i
 	return NewLink(name, pktPerSec*DataPacketSize*8/1e6, delay, queueCap)
 }
 
+// LinkTracer observes link state changes. It is defined here (rather
+// than importing internal/trace) so netsim stays dependency-free;
+// *trace.Tracer satisfies it structurally. what is one of "down", "up",
+// "rate", "delay", "loss"; v carries the new value where meaningful
+// (Mb/s for rate, seconds for delay, probability for loss, 0 for
+// down/up).
+type LinkTracer interface {
+	LinkEvent(name, what string, v float64)
+}
+
 // SetRate changes the line rate. Packets already queued keep their
 // departure times (they were scheduled at the old rate); future arrivals
 // serialise at the new rate.
-func (l *Link) SetRate(rateMbps float64) { l.RateBps = rateMbps * 1e6 }
+func (l *Link) SetRate(rateMbps float64) {
+	l.RateBps = rateMbps * 1e6
+	if l.Tracer != nil {
+		l.Tracer.LinkEvent(l.Name, "rate", rateMbps)
+	}
+}
 
 // SetDelay changes the propagation delay, modelling a route or radio
 // change mid-run (the §5 handover: a new basestation at a different
@@ -96,10 +117,33 @@ func (l *Link) SetRate(rateMbps float64) { l.RateBps = rateMbps * 1e6 }
 // applied at acceptance — their arrival events were scheduled when they
 // were enqueued — so an in-flight packet is never retimed; only future
 // arrivals propagate at the new delay.
-func (l *Link) SetDelay(d sim.Time) { l.PropDelay = d }
+func (l *Link) SetDelay(d sim.Time) {
+	l.PropDelay = d
+	if l.Tracer != nil {
+		l.Tracer.LinkEvent(l.Name, "delay", d.Seconds())
+	}
+}
 
 // SetDown takes the link down (all arrivals dropped) or back up.
-func (l *Link) SetDown(down bool) { l.down = down }
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	if l.Tracer != nil {
+		what := "up"
+		if down {
+			what = "down"
+		}
+		l.Tracer.LinkEvent(l.Name, what, 0)
+	}
+}
+
+// SetLossRate changes the i.i.d. random drop probability on arrival.
+// Prefer it over assigning LossRate directly: it notifies the tracer.
+func (l *Link) SetLossRate(p float64) {
+	l.LossRate = p
+	if l.Tracer != nil {
+		l.Tracer.LinkEvent(l.Name, "loss", p)
+	}
+}
 
 // Down reports whether the link is administratively down.
 func (l *Link) Down() bool { return l.down }

@@ -53,8 +53,15 @@ func (d *Duplex) SetDown(down bool) {
 
 // SetLossRate sets an i.i.d. loss rate on both directions.
 func (d *Duplex) SetLossRate(p float64) {
-	d.AB.LossRate = p
-	d.BA.LossRate = p
+	d.AB.SetLossRate(p)
+	d.BA.SetLossRate(p)
+}
+
+// Trace attaches a link tracer to both directions, so scenario-driven
+// state changes (outages, handovers, rate ramps) land in the trace.
+func (d *Duplex) Trace(lt netsim.LinkTracer) {
+	d.AB.Tracer = lt
+	d.BA.Tracer = lt
 }
 
 // SetDelay changes the propagation delay of both directions; packets

@@ -43,6 +43,7 @@ import (
 	"mptcp/internal/netsim"
 	"mptcp/internal/sched"
 	"mptcp/internal/sim"
+	"mptcp/internal/trace"
 )
 
 // Infinite marks an unlimited data supply (a long-lived flow).
@@ -109,6 +110,15 @@ type Config struct {
 	// OnComplete, if set, is invoked once the final data packet is
 	// cumulatively acknowledged (finite flows only).
 	OnComplete func()
+
+	// Tracer, when non-nil, records the connection's protocol events —
+	// cwnd changes, RTT samples, losses, retransmissions, scheduler
+	// picks, §6 countermeasures — into internal/trace ring buffers. The
+	// default nil disables tracing: every trace site is guarded by one
+	// pointer test, the hot path stays allocation-free, and simulation
+	// results are bit-identical with tracing on or off (the tracer never
+	// touches the world's random source).
+	Tracer *trace.Tracer
 }
 
 // Conn is the sender side of a (multipath) connection together with its
@@ -127,6 +137,13 @@ type Conn struct {
 	// assertion: nil when the algorithm does not implement them.
 	rttObs  cc.RTTObserver
 	lossObs cc.LossObserver
+
+	// tracer is nil unless Config.Tracer enabled tracing; traceID is
+	// this connection's tracer-scoped ID, allocated in construction
+	// order (deterministic within a world, unlike the diagnostic global
+	// ID below).
+	tracer  *trace.Tracer
+	traceID int32
 
 	// Scheduler state: the configured scheduler, whether it duplicates
 	// segments (resolved once, like the cc hooks), and a scratch View
@@ -217,6 +234,8 @@ func NewConn(nw *netsim.Net, cfg Config) *Conn {
 		dataEdge:   cfg.RecvBuf,
 		sched:      cfg.Sched,
 		oppRetxSeq: -1,
+		tracer:     cfg.Tracer,
+		traceID:    cfg.Tracer.ConnID(), // nil-safe: -1 when tracing is off
 	}
 	c.rttObs, _ = c.alg.(cc.RTTObserver)
 	c.lossObs, _ = c.alg.(cc.LossObserver)
@@ -423,8 +442,12 @@ func (c *Conn) schedule() {
 		if i < 0 {
 			return
 		}
-		if _, ok := c.subs[i].sendNew(); !ok {
+		dataSeq, ok := c.subs[i].sendNew()
+		if !ok {
 			return
+		}
+		if c.tracer != nil {
+			c.tracer.SchedPick(c.traceID, int32(i), dataSeq)
 		}
 		c.views[i].Inflight++
 		c.views[i].Sent++
@@ -518,6 +541,9 @@ func (c *Conn) rbufCountermeasures() {
 			c.subs[best].sendMapped(c.dataUna)
 			c.oppRetxSeq = c.dataUna
 			c.OppRetx++
+			if c.tracer != nil {
+				c.tracer.OppRetx(c.traceID, int32(best), c.dataUna)
+			}
 		}
 	}
 }
@@ -540,6 +566,9 @@ func (c *Conn) penalize(i int) {
 		}
 		cw.SSThresh = cw.Cwnd
 		c.Penalties++
+		if c.tracer != nil {
+			c.tracer.Penalty(c.traceID, int32(i), cw.Cwnd)
+		}
 	}
 	d := sf.srtt
 	if d <= 0 {

@@ -192,6 +192,9 @@ func (sf *Subflow) transmit(seq int64, retx bool) {
 	sf.PktsSent++
 	if retx {
 		sf.PktsRetx++
+		if tr := sf.conn.tracer; tr != nil {
+			tr.Retx(sf.conn.traceID, int32(sf.id), seq)
+		}
 	}
 	if !sf.rtoTimer.Active() {
 		sf.armTimer()
@@ -253,6 +256,9 @@ func (sf *Subflow) onNewAck(ack int64, echo sim.Time) {
 			sf.inRec = false
 			sf.dupAcks = 0
 			sf.debt = 0
+			if tr := sf.conn.tracer; tr != nil {
+				tr.SubflowState(sf.conn.traceID, int32(sf.id), "open")
+			}
 		} else {
 			sf.recoveryAck(newlyAcked)
 		}
@@ -264,6 +270,9 @@ func (sf *Subflow) onNewAck(ack int64, echo sim.Time) {
 			} else {
 				cc.Cwnd += sf.conn.alg.Increase(sf.conn.cc, sf.id)
 			}
+		}
+		if tr := sf.conn.tracer; tr != nil && newlyAcked > 0 {
+			tr.CwndChange(sf.conn.traceID, int32(sf.id), cc.Cwnd)
 		}
 	}
 	sf.armTimer()
@@ -287,6 +296,11 @@ func (sf *Subflow) onDupAck() {
 		}
 		cc.Cwnd = sf.conn.alg.Decrease(sf.conn.cc, sf.id)
 		cc.SSThresh = cc.Cwnd
+		if tr := sf.conn.tracer; tr != nil {
+			tr.Loss(sf.conn.traceID, int32(sf.id), "fast", sf.sndUna)
+			tr.CwndChange(sf.conn.traceID, int32(sf.id), cc.Cwnd)
+			tr.SubflowState(sf.conn.traceID, int32(sf.id), "recovery")
+		}
 		sf.inRec = true
 		sf.recover = sf.sndNxt
 		sf.rtxNxt = sf.sndUna
@@ -361,6 +375,11 @@ func (sf *Subflow) onRTO() {
 	sf.inRec = false
 	sf.dupAcks = 0
 	sf.debt = 0
+	if tr := sf.conn.tracer; tr != nil {
+		tr.Loss(sf.conn.traceID, int32(sf.id), "rto", sf.sndUna)
+		tr.CwndChange(sf.conn.traceID, int32(sf.id), cc.Cwnd)
+		tr.SubflowState(sf.conn.traceID, int32(sf.id), "repair")
+	}
 
 	if len(sf.conn.subs) > 1 {
 		stranded := make([]int64, 0, sf.outstanding())
@@ -406,6 +425,9 @@ func (sf *Subflow) sampleRTT(rtt sim.Time) {
 	sf.cc().SRTT = sf.srtt.Seconds()
 	if obs := sf.conn.rttObs; obs != nil {
 		obs.OnRTTSample(sf.conn.cc, sf.id, rtt.Seconds())
+	}
+	if tr := sf.conn.tracer; tr != nil {
+		tr.RTTSample(sf.conn.traceID, int32(sf.id), rtt.Seconds())
 	}
 	rto := sf.srtt + 4*sf.rttvar
 	if rto < sf.conn.cfg.MinRTO {
