@@ -17,19 +17,8 @@ func runAnalyze(files []string, csvPath string) error {
 		files = []string{"-"}
 	}
 	for _, name := range files {
-		var in io.Reader
-		if name == "-" {
-			in = os.Stdin
-		} else {
-			f, err := os.Open(name)
-			if err != nil {
-				return err
-			}
-			in = f
-			defer f.Close()
-		}
-		if err := rep.Read(in); err != nil {
-			return fmt.Errorf("reading %s: %v", name, err)
+		if err := readInto(rep, name); err != nil {
+			return err
 		}
 	}
 	if rep.CellLines+rep.TrialLines+rep.TraceLines == 0 {
@@ -39,18 +28,70 @@ func runAnalyze(files []string, csvPath string) error {
 		return err
 	}
 	if csvPath != "" {
-		var out io.Writer = os.Stdout
-		if csvPath != "-" {
-			f, err := os.Create(csvPath)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			out = f
+		return writeCSV(csvPath, func(w io.Writer) error { return rep.WriteCSV(w) })
+	}
+	return nil
+}
+
+// runAnalyzeDiff is the A/B half of -analyze: it aggregates the two
+// named JSONL artifact files into separate reports and renders per-cell
+// delta tables (mean, p50, p99 with absolute and relative changes), so
+// two branches' grid artifacts compare without spreadsheet work.
+func runAnalyzeDiff(files []string, csvPath string) error {
+	if len(files) != 2 {
+		return fmt.Errorf("-diff compares exactly two JSONL files, got %d", len(files))
+	}
+	a, b := analyze.NewReport(), analyze.NewReport()
+	if err := readInto(a, files[0]); err != nil {
+		return err
+	}
+	if err := readInto(b, files[1]); err != nil {
+		return err
+	}
+	if a.CellLines+a.TrialLines == 0 || b.CellLines+b.TrialLines == 0 {
+		return fmt.Errorf("-diff needs grid or trial records on both sides (A: %d, B: %d)",
+			a.CellLines+a.TrialLines, b.CellLines+b.TrialLines)
+	}
+	secs := analyze.Diff(a, b)
+	if err := analyze.RenderSections(os.Stdout, secs); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		return writeCSV(csvPath, func(w io.Writer) error { return analyze.WriteCSVSections(w, secs) })
+	}
+	return nil
+}
+
+func readInto(rep *analyze.Report, name string) error {
+	var in io.Reader
+	if name == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
 		}
-		if err := rep.WriteCSV(out); err != nil {
-			return fmt.Errorf("writing CSV: %v", err)
+		defer f.Close()
+		in = f
+	}
+	if err := rep.Read(in); err != nil {
+		return fmt.Errorf("reading %s: %v", name, err)
+	}
+	return nil
+}
+
+func writeCSV(path string, emit func(io.Writer) error) error {
+	var out io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
 		}
+		defer f.Close()
+		out = f
+	}
+	if err := emit(out); err != nil {
+		return fmt.Errorf("writing CSV: %v", err)
 	}
 	return nil
 }

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"mptcp/internal/netsim"
@@ -12,14 +14,26 @@ import (
 )
 
 // engineBench is the cross-commit engine-performance record uploaded by
-// CI as BENCH_engine.json: one point of the perf trajectory per commit.
+// CI as BENCH_engine.json and appended to BENCH_trajectory.jsonl: one
+// point of the perf trajectory per commit.
 type engineBench struct {
+	Commit       string  `json:"commit,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	NsPerHop     float64 `json:"ns_per_hop"`
 	Hops         uint64  `json:"hops"`
 	GoMaxProcs   int     `json:"gomaxprocs"`
-	Timestamp    string  `json:"timestamp"`
+
+	// Sharded engine on the fleet-shaped workload (many coupled domain
+	// rings, sim.Sharded barriers): events/sec at one shard and at
+	// GOMAXPROCS shards, and their ratio. Speedup ≈ 1 on a single-CPU
+	// runner; the gate never penalises it.
+	ShardedEPS1    float64 `json:"sharded_events_per_sec_1,omitempty"`
+	ShardedEPSN    float64 `json:"sharded_events_per_sec_n,omitempty"`
+	ShardedN       int     `json:"sharded_shards_n,omitempty"`
+	ShardedSpeedup float64 `json:"sharded_speedup,omitempty"`
+
+	Timestamp string `json:"timestamp"`
 }
 
 // runEngineBench measures the hot packet-hop path of the event engine —
@@ -27,10 +41,14 @@ type engineBench struct {
 // path. The workload is netsim.BenchRing (4 links, 256 circulating
 // packets), the same harness BenchmarkEnginePacketHop runs, so the CI
 // trajectory and the go-test benchmark measure the identical workload.
+// A second, fleet-shaped measurement runs the sharded engine (16 domain
+// rings coupled by barrier pipes) at 1 shard and at GOMAXPROCS shards.
 // With a baseline path the fresh record is compared against the
-// checked-in one and an events/sec regression beyond benchTolerance
-// fails the run — CI's perf gate.
-func runEngineBench(path, baseline string) error {
+// checked-in one — the last line when the file is a .jsonl trajectory —
+// and an events/sec regression beyond benchTolerance fails the run:
+// CI's perf gate. Every run is also appended to trajectory (one JSONL
+// line) unless that path is empty.
+func runEngineBench(path, baseline, trajectory, commit string) error {
 	s := sim.New(1)
 	netsim.NewBenchRing(s, 4, 256)
 
@@ -48,6 +66,7 @@ func runEngineBench(path, baseline string) error {
 
 	done := s.Steps() - start0
 	rec := engineBench{
+		Commit:       commit,
 		EventsPerSec: float64(done) / wall.Seconds(),
 		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(done),
 		NsPerHop:     float64(wall.Nanoseconds()) / float64(done),
@@ -55,21 +74,100 @@ func runEngineBench(path, baseline string) error {
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 	}
+	fmt.Printf("engine bench: %.1fM events/s, %.4f allocs/op, %.1f ns/hop (%d hops)\n",
+		rec.EventsPerSec/1e6, rec.AllocsPerOp, rec.NsPerHop, rec.Hops)
+
+	rec.ShardedN = runtime.GOMAXPROCS(0)
+	rec.ShardedEPS1 = shardedBench(1)
+	if rec.ShardedN > 1 {
+		rec.ShardedEPSN = shardedBench(rec.ShardedN)
+	} else {
+		rec.ShardedEPSN = rec.ShardedEPS1
+	}
+	rec.ShardedSpeedup = rec.ShardedEPSN / rec.ShardedEPS1
+	fmt.Printf("sharded bench: %.1fM events/s at 1 shard, %.1fM at %d shards (%.2fx)\n",
+		rec.ShardedEPS1/1e6, rec.ShardedEPSN/1e6, rec.ShardedN, rec.ShardedSpeedup)
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	enc := json.NewEncoder(f)
-	if err := enc.Encode(rec); err != nil {
+	if err := json.NewEncoder(f).Encode(rec); err != nil {
 		return err
 	}
-	fmt.Printf("engine bench: %.1fM events/s, %.4f allocs/op, %.1f ns/hop (%d hops)\n",
-		rec.EventsPerSec/1e6, rec.AllocsPerOp, rec.NsPerHop, rec.Hops)
+	// Gate before appending: baseline and trajectory may be the same
+	// .jsonl file, and the gate must read the last *committed* entry,
+	// not the record just measured. The append happens even when the
+	// gate fails — a trajectory that omits regressions lies.
+	var gateErr error
 	if baseline != "" {
-		return checkBaseline(rec, baseline)
+		gateErr = checkBaseline(rec, baseline)
 	}
-	return nil
+	if trajectory != "" {
+		if err := appendTrajectory(trajectory, rec); err != nil {
+			return err
+		}
+	}
+	return gateErr
+}
+
+// shardedBenchDomains x shardedBenchPop sizes the fleet-shaped workload:
+// like the fleet experiment, many independent domain rings coupled by
+// 50 ms barrier pipes, so the measurement includes the epoch/barrier
+// overhead a real sharded experiment pays.
+const (
+	shardedBenchDomains = 16
+	shardedBenchPop     = 64
+	shardedBenchHorizon = 4 * sim.Second
+)
+
+// benchNoop absorbs cross-domain keepalive messages.
+type benchNoop struct{}
+
+func (benchNoop) OnEvent(any) {}
+
+// shardedBench runs the fleet-shaped sharded workload to a fixed
+// simulated horizon with the given shard count and returns events/sec.
+// The engine's shard-count invariance means every call executes the
+// identical event sequence; only wall-clock differs.
+func shardedBench(shards int) float64 {
+	sh := sim.NewSharded(1, shardedBenchDomains)
+	sh.SetShards(shards)
+	for i := 0; i < shardedBenchDomains; i++ {
+		netsim.NewBenchRing(sh.Domain(i), 4, shardedBenchPop)
+	}
+	// Ring pipes force barrier epochs; one keepalive per domain per
+	// epoch keeps the pipes non-trivially busy.
+	for i := 0; i < shardedBenchDomains; i++ {
+		p := sh.NewPipe(i, (i+1)%shardedBenchDomains, 50*sim.Millisecond)
+		d := sh.Domain(i)
+		var tick func()
+		tm := d.NewTimer(func() { tick() })
+		tick = func() {
+			p.Send(benchNoop{}, nil)
+			tm.ResetAt(d.Now() + 50*sim.Millisecond)
+		}
+		tm.ResetAt(d.Now() + 50*sim.Millisecond)
+	}
+	start := sh.Steps()
+	end := sh.Domain(0).Now() + shardedBenchHorizon
+	t0 := time.Now()
+	sh.Run(end)
+	wall := time.Since(t0)
+	return float64(sh.Steps()-start) / wall.Seconds()
+}
+
+// appendTrajectory appends rec as one JSONL line to path — the
+// cross-commit perf trajectory (commit, date, events/sec, sharded
+// events/sec) that CI's gate reads the last entry of.
+func appendTrajectory(path string, rec engineBench) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewEncoder(f).Encode(rec)
 }
 
 // benchTolerance is the fractional events/sec drop the perf gate
@@ -80,12 +178,21 @@ const benchTolerance = 0.10
 
 // checkBaseline compares a fresh engine-bench record against the
 // checked-in baseline and errors if events/sec dropped more than
-// benchTolerance. Improvements are reported, never fatal; the baseline
-// is only rewritten deliberately (see DESIGN.md §"Perf trajectory").
+// benchTolerance. A .jsonl baseline is a trajectory: its last line is
+// the baseline record. Improvements are reported, never fatal; the
+// baseline is only rewritten deliberately (see DESIGN.md §"Perf
+// trajectory").
 func checkBaseline(rec engineBench, path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("bench baseline: %v", err)
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+		if len(lines) == 0 || len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
+			return fmt.Errorf("bench baseline %s: empty trajectory", path)
+		}
+		raw = lines[len(lines)-1]
 	}
 	var base engineBench
 	if err := json.Unmarshal(raw, &base); err != nil {

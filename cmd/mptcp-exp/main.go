@@ -10,8 +10,10 @@
 //	mptcp-exp -exp dynamics [-scenario handover] [-json]
 //	mptcp-exp -exp schedgrid [-sched minrtt+otr+pen] [-json]
 //	mptcp-exp -exp dynamics -json -trace trace.jsonl
+//	mptcp-exp -exp fleet [-shards 4] -json
 //	mptcp-exp -analyze [-csv out.csv] grid.jsonl trace.jsonl
-//	mptcp-exp -bench-engine BENCH_engine.json [-bench-baseline old.json]
+//	mptcp-exp -analyze -diff A.jsonl B.jsonl
+//	mptcp-exp -bench-engine BENCH_engine.json [-bench-baseline BENCH_trajectory.jsonl]
 //
 // Independent trial cells fan out across -parallel workers (default
 // GOMAXPROCS); results are bit-identical for every worker count. With
@@ -83,20 +85,32 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON record per trial instead of rendered reports")
 	traceOut := flag.String("trace", "", "write per-connection protocol traces (JSONL) to FILE for experiments that support tracing")
 	analyze := flag.Bool("analyze", false, "aggregate JSONL artifacts (grid records, trial records, traces) named as positional args ('-' or none = stdin) into summary tables")
+	diff := flag.Bool("diff", false, "with -analyze, compare exactly two JSONL files A and B and print per-cell delta tables instead of aggregates")
 	csvOut := flag.String("csv", "", "with -analyze, also write the summary rows as CSV to FILE ('-' = stdout)")
-	benchEngine := flag.String("bench-engine", "", "measure the event engine's packet-hop path and write {events_per_sec, allocs_per_op, ns_per_hop} to FILE")
-	benchBaseline := flag.String("bench-baseline", "", "with -bench-engine, compare against the baseline record in FILE and fail if events/sec regressed >10%")
+	shards := flag.Int("shards", 0, "max concurrent partition domains per cell for sharded-engine experiments (fleet); 0 = GOMAXPROCS, results identical for every value")
+	benchEngine := flag.String("bench-engine", "", "measure the event engine's packet-hop path (plus the sharded fleet-shaped workload) and write the record to FILE")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-engine, compare against the baseline record in FILE (.jsonl = last line of a trajectory) and fail if events/sec regressed >10%")
+	benchTrajectory := flag.String("bench-trajectory", "BENCH_trajectory.jsonl", "with -bench-engine, append the record as one JSONL line to FILE ('' disables)")
+	benchCommit := flag.String("bench-commit", "", "with -bench-engine, commit id stamped into the record (default $GITHUB_SHA, else 'local')")
 	flag.Parse()
 	if *expID != "" {
 		id = expID
 	}
 
 	if *analyze {
-		if err := runAnalyze(flag.Args(), *csvOut); err != nil {
+		run := runAnalyze
+		if *diff {
+			run = runAnalyzeDiff
+		}
+		if err := run(flag.Args(), *csvOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *diff {
+		fmt.Fprintln(os.Stderr, "-diff requires -analyze")
+		os.Exit(1)
 	}
 	if *scenarioID != "" {
 		if _, err := scenario.Build(*scenarioID, 1); err != nil {
@@ -112,7 +126,13 @@ func main() {
 	}
 
 	if *benchEngine != "" {
-		if err := runEngineBench(*benchEngine, *benchBaseline); err != nil {
+		commit := *benchCommit
+		if commit == "" {
+			if commit = os.Getenv("GITHUB_SHA"); commit == "" {
+				commit = "local"
+			}
+		}
+		if err := runEngineBench(*benchEngine, *benchBaseline, *benchTrajectory, commit); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -144,7 +164,7 @@ func main() {
 		exps = []*exp.Experiment{e}
 	}
 
-	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel, Scenario: *scenarioID, Sched: *schedSpec}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel, Shards: *shards, Scenario: *scenarioID, Sched: *schedSpec}
 	if *traceOut != "" {
 		// Trials run concurrently and each flushes its own cells to the
 		// trace writer; one traced trial keeps the file deterministic.

@@ -288,36 +288,44 @@ type Section struct {
 // Render writes the report as fixed-width text tables. Output is a pure
 // function of the aggregated input.
 func (r *Report) Render(w io.Writer) error {
-	for si, sec := range r.Sections() {
-		if si > 0 {
-			fmt.Fprintln(w)
-		}
-		fmt.Fprintf(w, "== %s ==\n", sec.Title)
-		widths := make([]int, len(sec.Header))
-		for i, h := range sec.Header {
-			widths[i] = len(h)
-		}
-		for _, row := range sec.Rows {
-			for i, c := range row {
-				if i < len(widths) && len(c) > widths[i] {
-					widths[i] = len(c)
-				}
-			}
-		}
-		emit := func(cells []string) {
-			parts := make([]string, len(cells))
-			for i, c := range cells {
-				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
-			}
-			fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
-		}
-		emit(sec.Header)
-		for _, row := range sec.Rows {
-			emit(row)
-		}
+	if err := RenderSections(w, r.Sections()); err != nil {
+		return err
 	}
 	if r.Skipped > 0 {
 		fmt.Fprintf(w, "\n(%d unrecognised lines skipped)\n", r.Skipped)
+	}
+	return nil
+}
+
+// renderSection writes one titled fixed-width table.
+func renderSection(w io.Writer, sec Section) error {
+	fmt.Fprintf(w, "== %s ==\n", sec.Title)
+	widths := make([]int, len(sec.Header))
+	for i, h := range sec.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range sec.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	emit := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := emit(sec.Header); err != nil {
+		return err
+	}
+	for _, row := range sec.Rows {
+		if err := emit(row); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -326,22 +334,7 @@ func (r *Report) Render(w io.Writer) error {
 // line, each starting with its header row. Same determinism contract as
 // Render.
 func (r *Report) WriteCSV(w io.Writer) error {
-	for si, sec := range r.Sections() {
-		if si > 0 {
-			if _, err := fmt.Fprintln(w); err != nil {
-				return err
-			}
-		}
-		if err := csvRow(w, sec.Header); err != nil {
-			return err
-		}
-		for _, row := range sec.Rows {
-			if err := csvRow(w, row); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return WriteCSVSections(w, r.Sections())
 }
 
 func csvRow(w io.Writer, cells []string) error {

@@ -1,0 +1,188 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"mptcp/internal/metrics"
+)
+
+// Diff compares two reports cell-by-cell: for every dimension tuple
+// present in either input and every metric recorded under it, the diff
+// reports both sides' mean and tail quantiles plus their absolute and
+// relative deltas. Cells or metrics present on only one side render "-"
+// on the missing side, so an A/B comparison surfaces coverage drift as
+// loudly as value drift. Ordering is deterministic (group key, then
+// metric name), matching the report's own contract.
+func Diff(a, b *Report) []Section {
+	var out []Section
+	if sec, ok := diffGroups(
+		fmt.Sprintf("Grid cell diff (A: %d records, B: %d records)", a.CellLines, b.CellLines),
+		cellHeader[:6], a.cells, b.cells); ok {
+		out = append(out, sec)
+	}
+	if sec, ok := diffGroups(
+		fmt.Sprintf("Trial diff (A: %d records, B: %d records)", a.TrialLines, b.TrialLines),
+		trialHeader[:1], a.trials, b.trials); ok {
+		out = append(out, sec)
+	}
+	return out
+}
+
+var diffValueHeader = []string{"metric", "n_a", "n_b",
+	"mean_a", "mean_b", "dmean", "dmean_pct",
+	"p50_a", "p50_b", "dp50", "p99_a", "p99_b", "dp99"}
+
+func diffGroups(title string, dimHeader []string, am, bm map[string]*group) (Section, bool) {
+	if len(am) == 0 && len(bm) == 0 {
+		return Section{}, false
+	}
+	keys := make([]string, 0, len(am)+len(bm))
+	for k := range am {
+		keys = append(keys, k)
+	}
+	for k := range bm {
+		if _, dup := am[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	sec := Section{Title: title, Header: append(append([]string(nil), dimHeader...), diffValueHeader...)}
+	for _, k := range keys {
+		ga, gb := am[k], bm[k]
+		dims := ga
+		if dims == nil {
+			dims = gb
+		}
+		for _, name := range unionMetricNames(ga, gb) {
+			row := append([]string(nil), dims.dims...)
+			row = append(row, name)
+			var sa, sb *summaryView
+			if ga != nil {
+				sa = viewOf(ga.mets[name])
+			}
+			if gb != nil {
+				sb = viewOf(gb.mets[name])
+			}
+			row = append(row, countCell(sa), countCell(sb))
+			row = append(row, deltaCells(sa, sb, (*summaryView).mean)...)
+			row = append(row, relCell(sa, sb))
+			row = append(row, deltaCells(sa, sb, (*summaryView).p50)...)
+			row = append(row, deltaCells(sa, sb, (*summaryView).p99)...)
+			sec.Rows = append(sec.Rows, row)
+		}
+	}
+	return sec, true
+}
+
+// summaryView adapts a metrics.Summary for the diff columns; a nil view
+// is a metric absent on that side.
+type summaryView struct {
+	n               int64
+	vMean, v50, v99 float64
+}
+
+func viewOf(s *metrics.Summary) *summaryView {
+	if s == nil || s.N() == 0 {
+		return nil
+	}
+	return &summaryView{n: s.N(), vMean: s.Mean(), v50: s.P50(), v99: s.P99()}
+}
+
+func (v *summaryView) mean() float64 { return v.vMean }
+func (v *summaryView) p50() float64  { return v.v50 }
+func (v *summaryView) p99() float64  { return v.v99 }
+
+func countCell(v *summaryView) string {
+	if v == nil {
+		return "-"
+	}
+	return strconv.FormatInt(v.n, 10)
+}
+
+// deltaCells renders [a, b, b−a] for one statistic, "-" where a side is
+// missing.
+func deltaCells(a, b *summaryView, stat func(*summaryView) float64) []string {
+	ca, cb, d := "-", "-", "-"
+	if a != nil {
+		ca = fmtG(stat(a))
+	}
+	if b != nil {
+		cb = fmtG(stat(b))
+	}
+	if a != nil && b != nil {
+		d = fmtG(stat(b) - stat(a))
+	}
+	return []string{ca, cb, d}
+}
+
+// relCell renders the mean's relative change in percent; "-" when either
+// side is missing or the baseline mean is zero.
+func relCell(a, b *summaryView) string {
+	if a == nil || b == nil || a.vMean == 0 {
+		return "-"
+	}
+	return fmtG((b.vMean - a.vMean) / math.Abs(a.vMean) * 100)
+}
+
+func unionMetricNames(ga, gb *group) []string {
+	seen := map[string]bool{}
+	var names []string
+	add := func(g *group) {
+		if g == nil {
+			return
+		}
+		for k := range g.mets {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	add(ga)
+	add(gb)
+	sort.Strings(names)
+	return names
+}
+
+// RenderSections writes sections in the report's fixed-width table
+// style; RenderDiff and Report.Render share it, so diffs inherit the
+// byte-determinism contract.
+func RenderSections(w io.Writer, secs []Section) error {
+	for si, sec := range secs {
+		if si > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := renderSection(w, sec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVSections writes sections as CSV, the same shape Report.WriteCSV
+// produces for its own sections.
+func WriteCSVSections(w io.Writer, secs []Section) error {
+	for si, sec := range secs {
+		if si > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := csvRow(w, sec.Header); err != nil {
+			return err
+		}
+		for _, row := range sec.Rows {
+			if err := csvRow(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+)
+
+const diffA = `{"id":"fleet","algorithm":"MPTCP","topology":"fleet32","scenario":"churn","scheduler":"minrtt","recv_buf":64,"metrics":{"fct_p50_s":0.10,"completed":500}}
+{"id":"fleet","algorithm":"EWTCP","topology":"fleet32","scenario":"churn","scheduler":"minrtt","recv_buf":64,"metrics":{"fct_p50_s":0.20}}
+`
+
+const diffB = `{"id":"fleet","algorithm":"MPTCP","topology":"fleet32","scenario":"churn","scheduler":"minrtt","recv_buf":64,"metrics":{"fct_p50_s":0.15,"completed":500}}
+{"id":"fleet","algorithm":"OLIA","topology":"fleet32","scenario":"churn","scheduler":"minrtt","recv_buf":64,"metrics":{"fct_p50_s":0.30}}
+`
+
+func readReport(t *testing.T, in string) *Report {
+	t.Helper()
+	r := NewReport()
+	if err := r.Read(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func findRow(sec Section, contains ...string) []string {
+	for _, row := range sec.Rows {
+		joined := strings.Join(row, "\x00")
+		ok := true
+		for _, c := range contains {
+			if !strings.Contains(joined, c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return row
+		}
+	}
+	return nil
+}
+
+func TestDiffDeltas(t *testing.T) {
+	secs := Diff(readReport(t, diffA), readReport(t, diffB))
+	if len(secs) != 1 {
+		t.Fatalf("got %d sections, want 1 (grid cells only)", len(secs))
+	}
+	sec := secs[0]
+
+	// Shared cell: mean delta and relative delta are computed. The
+	// fct_p50_s columns are mean_a=0.1, mean_b=0.15, dmean=0.05,
+	// dmean_pct=50.
+	row := findRow(sec, "MPTCP", "fct_p50_s")
+	if row == nil {
+		t.Fatal("no row for MPTCP fct_p50_s")
+	}
+	got := strings.Join(row, " ")
+	for _, want := range []string{"0.1 ", "0.15", "0.05", "50"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("MPTCP row %q missing %q", got, want)
+		}
+	}
+
+	// A-only cell: B side and deltas are "-".
+	row = findRow(sec, "EWTCP", "fct_p50_s")
+	if row == nil || row[len(row)-1] != "-" {
+		t.Errorf("EWTCP (A-only) row should end with '-': %v", row)
+	}
+	// B-only cell appears too.
+	if findRow(sec, "OLIA", "fct_p50_s") == nil {
+		t.Error("OLIA (B-only) cell missing from diff")
+	}
+}
+
+func TestDiffDeterministicRender(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if err := RenderSections(&sb, Diff(readReport(t, diffA), readReport(t, diffB))); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if render() != first {
+			t.Fatal("diff render is not byte-deterministic")
+		}
+	}
+	if !strings.Contains(first, "Grid cell diff") {
+		t.Errorf("missing section title in:\n%s", first)
+	}
+}
+
+func TestDiffCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSVSections(&sb, Diff(readReport(t, diffA), readReport(t, diffB))); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "id,algorithm,topology,scenario,scheduler,recv_buf,metric,") {
+		t.Errorf("unexpected CSV header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+}

@@ -32,6 +32,12 @@ type Config struct {
 	// RunCells). Zero means runtime.GOMAXPROCS(0); results are
 	// bit-identical for every value.
 	Parallelism int
+	// Shards bounds how many partition domains of a sharded-engine
+	// experiment (fleet) run concurrently within one cell. Zero means
+	// runtime.GOMAXPROCS(0); like Parallelism, results are bit-identical
+	// for every value (sim.Sharded's barrier-merge guarantees it).
+	// Experiments without intra-cell sharding ignore it.
+	Shards int
 	// Scenario restricts scenario-grid experiments (dynamics) to one
 	// named scenario; empty runs the full grid. Filtering never changes
 	// a cell's derived seed — a filtered run reproduces exactly the

@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"mptcp/internal/cc"
+	"mptcp/internal/metrics"
+	"mptcp/internal/netsim"
+	"mptcp/internal/scenario"
+	"mptcp/internal/sched"
+	"mptcp/internal/sim"
+	"mptcp/internal/topo"
+	"mptcp/internal/transport"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:  "fleet",
+		Ref: "scaled-up §3 server workload",
+		Desc: "Fleet-scale flow-completion times: tens of thousands of short MPTCP connections under Poisson " +
+			"arrivals × Pareto sizes across a sharded multi-core engine; FCT p50/p95/p99 per cc × scheduler cell.",
+		Run: runFleet,
+	})
+}
+
+// Fleet shape. Each cell is one (algorithm × scheduler) combination
+// simulating fleetDomains independent connection groups — dual-homed
+// clients behind their own pair of asymmetric access links — coupled in
+// a ring by background transit bursts that cross group boundaries over
+// sim.Sharded pipes. At full scale each cell sees fleetRate × fleetDur
+// × fleetDomains ≈ 11,500 Poisson arrivals with Pareto(1.5) sizes of
+// mean fleetMeanPkts packets: the §3 server workload scaled up three
+// orders of magnitude, which is exactly the population FCT distributions
+// need (arXiv:1112.1932 and arXiv:2309.09372 both evaluate over large
+// flow ensembles).
+const (
+	fleetDomains  = 32
+	fleetDur      = 30 * sim.Second
+	fleetRate     = 12.0 // arrivals per second per domain
+	fleetMeanPkts = 50.0
+	fleetRecvBuf  = 64
+	// fleetPipeLatency couples the groups; it is also the engine's
+	// barrier epoch, so 600 epochs cover a full-scale run.
+	fleetPipeLatency = 50 * sim.Millisecond
+	// fleetTransitEvery paces each group's background bursts into the
+	// next group.
+	fleetTransitEvery = 20 * sim.Millisecond
+)
+
+// fleetScheds are the scheduler columns: the historical striping and
+// the deployment default, enough to show FCT tails move with
+// scheduling policy without squaring the grid.
+func fleetScheds() []string { return []string{"firstfit", "minrtt"} }
+
+// fleetOut is one cell's aggregate, already merged across domains.
+type fleetOut struct {
+	fct       *metrics.Summary // completion times, seconds
+	arrivals  int64
+	completed int64
+	pkts      int64 // data packets delivered by completed flows
+	transit   int64 // cross-shard transit bursts delivered
+	reuses    int64 // pool recycles (diagnostics)
+}
+
+// fleetGroup is one partition domain: its own simulator, network,
+// access links, connection pool and FCT summary. It implements
+// sim.Handler to absorb transit bursts arriving over the ring pipe.
+type fleetGroup struct {
+	s    *sim.Simulator
+	n    *netsim.Net
+	d1   *topo.Duplex
+	d2   *topo.Duplex
+	pool *transport.ConnPool
+	env  *scenario.Env
+
+	bgRoute  *netsim.Route // transit-burst packets into the d1 access queue
+	out      *sim.Pipe     // to the next group in the ring
+	ringDest *fleetGroup   // receiver of out (the next group)
+	tick     *sim.Timer
+
+	fct       *metrics.Summary
+	completed int64
+	pkts      int64
+	transit   int64
+}
+
+// fleetSink drains background packets (transit bursts) at the far end
+// of an access link.
+type fleetSink struct{ n *netsim.Net }
+
+func (k *fleetSink) Receive(p *netsim.Packet) { k.n.FreePacket(p) }
+
+// OnEvent absorbs one transit burst from the previous group in the
+// ring: arg packets are injected into this group's primary access
+// queue, so cross-shard traffic genuinely perturbs the local flows —
+// the shards=1 ≡ shards=N pin is meaningless if domains never interact.
+func (g *fleetGroup) OnEvent(arg any) {
+	k := arg.(int)
+	g.transit++
+	for i := 0; i < k; i++ {
+		p := g.n.AllocPacket()
+		p.Size = netsim.DataPacketSize
+		g.n.Send(g.bgRoute, p)
+	}
+}
+
+// sendTransit emits this group's periodic burst into the ring and
+// rearms. Burst sizes draw from the group's own domain rng.
+func (g *fleetGroup) sendTransit(end sim.Time) {
+	g.out.Send(g.ringDest, 1+g.s.Rand().Intn(8))
+	if next := g.s.Now() + fleetTransitEvery; next < end {
+		g.tick.ResetAt(next)
+	} else {
+		g.tick.Release()
+	}
+}
+
+func runFleet(cfg Config) *Result {
+	cfg = cfg.norm()
+	res := newResult("fleet")
+	algs := cc.Names()
+	scheds := fleetScheds()
+
+	type cellKey struct{ ai, si, idx int }
+	var sel []cellKey
+	idx := 0
+	for ai := range algs {
+		for si := range scheds {
+			if cfg.Sched == "" || scheds[si] == cfg.Sched {
+				sel = append(sel, cellKey{ai, si, idx})
+			}
+			idx++
+		}
+	}
+	cells := RunCells(cfg, len(sel), func(cell Config, i int) fleetOut {
+		k := sel[i]
+		cell.Seed = CellSeed(cfg.Seed, k.idx)
+		return runFleetCell(cell, algs[k.ai], scheds[k.si])
+	})
+
+	table := Table{
+		Title: "Fleet: flow-completion time seconds p50/p95/p99 (completed flows) per algorithm × scheduler",
+		Cols:  []string{"algorithm", "scheduler", "p50", "p95", "p99", "mean", "completed", "arrivals"},
+	}
+	for i, k := range sel {
+		c := cells[i]
+		name, sc := algs[k.ai], scheds[k.si]
+		key := strings.ToLower(name) + "_" + sc
+		res.Metrics[key+"_fct_p50_s"] = c.fct.P50()
+		res.Metrics[key+"_fct_p99_s"] = c.fct.P99()
+		res.Metrics[key+"_completed"] = float64(c.completed)
+		res.Records = append(res.Records, Record{
+			Algorithm: name,
+			Topology:  "fleet32",
+			Scenario:  "poisson-pareto-churn",
+			Scheduler: sc,
+			RecvBuf:   fleetRecvBuf,
+			Metrics: map[string]float64{
+				"fct_p50_s":    c.fct.P50(),
+				"fct_p95_s":    c.fct.P95(),
+				"fct_p99_s":    c.fct.P99(),
+				"fct_mean_s":   c.fct.Mean(),
+				"fct_max_s":    c.fct.Max(),
+				"completed":    float64(c.completed),
+				"arrivals":     float64(c.arrivals),
+				"goodput_mbps": mbps(c.pkts, cfg.dur(fleetDur)),
+				"transit":      float64(c.transit),
+				"pool_reuses":  float64(c.reuses),
+			},
+		})
+		table.Rows = append(table.Rows, []string{
+			name, sc,
+			f2(c.fct.P50()), f2(c.fct.P95()), f2(c.fct.P99()), f2(c.fct.Mean()),
+			f0(float64(c.completed)), f0(float64(c.arrivals)),
+		})
+	}
+	res.Tables = append(res.Tables, table)
+	res.note("%d connection groups per cell, Poisson %.0f arrivals/s/group × Pareto(1.5) sizes of mean %.0f pkts, shared recvbuf %d pkts; groups coupled by ring transit bursts over sharded pipes",
+		fleetDomains, fleetRate, fleetMeanPkts, fleetRecvBuf)
+	return res
+}
+
+// runFleetCell simulates one (algorithm × scheduler) cell on a sharded
+// engine: fleetDomains connection groups on their own per-shard heaps,
+// merged at fleetPipeLatency barriers. Memory stays bounded by
+// streaming aggregation — completion times fold straight into each
+// group's metrics.Summary, and connection state recycles through a
+// per-group ConnPool — so the cell never retains per-flow samples.
+func runFleetCell(cell Config, algName, schedSpec string) fleetOut {
+	end := cell.dur(fleetDur)
+	sh := sim.NewSharded(cell.Seed, fleetDomains)
+	sh.SetShards(cell.Shards)
+
+	groups := make([]*fleetGroup, fleetDomains)
+	for i := range groups {
+		groups[i] = buildFleetGroup(sh.Domain(i), i, end, algName, schedSpec)
+	}
+	// Ring pipes: group i's transit bursts land in group (i+1) % N.
+	for i, g := range groups {
+		g.out = sh.NewPipe(i, (i+1)%fleetDomains, fleetPipeLatency)
+		g.ringDest = groups[(i+1)%fleetDomains]
+	}
+	// Start the transit tickers (the churn directives armed themselves
+	// at install time).
+	for _, g := range groups {
+		g.tick.ResetAt(fleetTransitEvery)
+	}
+
+	sh.Run(end)
+
+	// Deterministic merge in domain order.
+	out := fleetOut{fct: metrics.NewSummary()}
+	for _, g := range groups {
+		out.fct.Merge(g.fct)
+		out.arrivals += g.env.ChurnArrivals
+		out.completed += g.completed
+		out.pkts += g.pkts
+		out.transit += g.transit
+		out.reuses += g.pool.Reuses
+	}
+	return out
+}
+
+// buildFleetGroup constructs one connection group on domain simulator
+// s: two asymmetric access duplexes (a fast short path and a slower
+// long one, the §5 WiFi/3G shape), a FlowChurn scenario spawning
+// pooled two-path connections, and the transit-burst plumbing.
+func buildFleetGroup(s *sim.Simulator, id int, end sim.Time, algName, schedSpec string) *fleetGroup {
+	n := netsim.NewNet(s)
+	// The batched-departure path keeps the domain's event heap at
+	// O(links) despite hundreds of concurrent flows.
+	n.BatchDepartures = true
+	g := &fleetGroup{
+		s: s, n: n,
+		d1:   topo.NewDuplex(fmt.Sprintf("g%d/acc1", id), 16, 10*sim.Millisecond, topo.BDPPackets(16, 20*sim.Millisecond)),
+		d2:   topo.NewDuplex(fmt.Sprintf("g%d/acc2", id), 8, 25*sim.Millisecond, topo.BDPPackets(8, 50*sim.Millisecond)),
+		pool: transport.NewConnPool(n),
+		fct:  metrics.NewSummary(),
+	}
+	g.bgRoute = netsim.NewRoute(&fleetSink{n: n}, g.d1.AB)
+	g.tick = s.NewTimer(func() { g.sendTransit(end) })
+
+	paths := []transport.Path{topo.PathThrough(g.d1), topo.PathThrough(g.d2)}
+	g.env = &scenario.Env{Sim: s, Net: n, Links: []*topo.Duplex{g.d1, g.d2}}
+	g.env.Spawn = func(pkts int64) {
+		var c *transport.Conn
+		c = g.pool.Get(transport.Config{
+			Alg:         newAlg(algName),
+			Sched:       sched.MustNew(schedSpec),
+			Paths:       paths,
+			DataPackets: pkts,
+			RecvBuf:     fleetRecvBuf,
+			OnComplete: func() {
+				g.fct.Add((c.CompletedAt() - c.StartedAt()).Seconds())
+				g.completed++
+				g.pkts += c.Delivered()
+				g.pool.Put(c)
+			},
+		})
+		c.Start()
+	}
+	scenario.Scenario{
+		Name: "fleet-churn",
+		Directives: []scenario.Directive{
+			scenario.FlowChurn{Start: 0, End: end, Rate: fleetRate, MeanPkts: fleetMeanPkts, Alpha: 1.5},
+		},
+	}.MustInstall(g.env)
+	return g
+}

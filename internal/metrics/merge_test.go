@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSummaryMergeExactMoments: splitting a stream across shards and
+// merging must reproduce the single-stream count, mean, variance and
+// extremes exactly (up to float round-off) — the Welford/Chan combine
+// is algebraically exact, unlike the quantile part.
+func TestSummaryMergeExactMoments(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7, 16} {
+		r := rand.New(rand.NewSource(5))
+		single := NewSummary()
+		parts := make([]*Summary, shards)
+		for i := range parts {
+			parts[i] = NewSummary()
+		}
+		for i := 0; i < 20000; i++ {
+			x := 100 + 15*r.NormFloat64()
+			single.Add(x)
+			parts[i%shards].Add(x)
+		}
+		merged := NewSummary()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.N() != single.N() {
+			t.Fatalf("shards=%d: N %d != %d", shards, merged.N(), single.N())
+		}
+		if d := math.Abs(merged.Mean() - single.Mean()); d > 1e-9*math.Abs(single.Mean()) {
+			t.Errorf("shards=%d: mean %v != %v", shards, merged.Mean(), single.Mean())
+		}
+		if d := math.Abs(merged.Stddev() - single.Stddev()); d > 1e-9*single.Stddev() {
+			t.Errorf("shards=%d: stddev %v != %v", shards, merged.Stddev(), single.Stddev())
+		}
+		if merged.Min() != single.Min() || merged.Max() != single.Max() {
+			t.Errorf("shards=%d: extremes (%v,%v) != (%v,%v)",
+				shards, merged.Min(), merged.Max(), single.Min(), single.Max())
+		}
+	}
+}
+
+// TestSummaryMergeQuantiles: merged quantile estimates must land close
+// to the exact batch percentile — the P² merge replays the shard's
+// piecewise-linear inverse CDF, so it is approximate, but for smooth
+// distributions the error stays within a few percent of the spread.
+func TestSummaryMergeQuantiles(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	parts := make([]*Summary, 8)
+	for i := range parts {
+		parts[i] = NewSummary()
+	}
+	xs := make([]float64, 0, 40000)
+	for i := 0; i < 40000; i++ {
+		x := 50 + 10*r.NormFloat64()
+		parts[i%len(parts)].Add(x)
+		xs = append(xs, x)
+	}
+	merged := NewSummary()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	spread := Percentile(xs, 99) - Percentile(xs, 1)
+	for _, q := range []struct {
+		got, want float64
+		name      string
+	}{
+		{merged.P50(), Percentile(xs, 50), "p50"},
+		{merged.P95(), Percentile(xs, 95), "p95"},
+		{merged.P99(), Percentile(xs, 99), "p99"},
+	} {
+		if math.Abs(q.got-q.want) > 0.05*spread {
+			t.Errorf("%s: merged %v, exact %v (spread %v)", q.name, q.got, q.want, spread)
+		}
+	}
+}
+
+// TestSummaryMergeSmall: shards with fewer than five observations hold
+// their exact values, so merging them must be exact end to end.
+func TestSummaryMergeSmall(t *testing.T) {
+	a, b := NewSummary(), NewSummary()
+	for _, x := range []float64{3, 1} {
+		a.Add(x)
+	}
+	for _, x := range []float64{4, 1, 5} {
+		b.Add(x)
+	}
+	m := NewSummary()
+	m.Merge(a)
+	m.Merge(b)
+	single := NewSummary()
+	for _, x := range []float64{3, 1, 4, 1, 5} {
+		single.Add(x)
+	}
+	if m.N() != 5 || m.Min() != 1 || m.Max() != 5 {
+		t.Fatalf("merged n=%d min=%v max=%v", m.N(), m.Min(), m.Max())
+	}
+	if math.Abs(m.Mean()-single.Mean()) > 1e-12 {
+		t.Fatalf("mean %v != %v", m.Mean(), single.Mean())
+	}
+	if m.P50() != single.P50() {
+		t.Fatalf("p50 %v != %v (small shards replay exact values, so the merge must match)", m.P50(), single.P50())
+	}
+}
+
+// TestSummaryMergeEmptyAndNil: merging empty or nil summaries is a
+// no-op in both directions.
+func TestSummaryMergeEmptyAndNil(t *testing.T) {
+	s := NewSummary()
+	s.Add(2)
+	s.Merge(NewSummary())
+	s.Merge(nil)
+	if s.N() != 1 || s.Mean() != 2 || s.Min() != 2 || s.Max() != 2 {
+		t.Fatalf("merge of empty perturbed state: n=%d mean=%v", s.N(), s.Mean())
+	}
+	e := NewSummary()
+	e.Merge(s)
+	if e.N() != 1 || e.Mean() != 2 || e.Min() != 2 || e.Max() != 2 {
+		t.Fatalf("merge into empty lost state: n=%d mean=%v", e.N(), e.Mean())
+	}
+}
+
+// TestSummaryMergeDeterministic: merging the same shard summaries in
+// the same order twice gives bit-equal results.
+func TestSummaryMergeDeterministic(t *testing.T) {
+	build := func() float64 {
+		r := rand.New(rand.NewSource(23))
+		parts := make([]*Summary, 4)
+		for i := range parts {
+			parts[i] = NewSummary()
+		}
+		for i := 0; i < 8000; i++ {
+			parts[i%4].Add(r.ExpFloat64() * 7)
+		}
+		m := NewSummary()
+		for _, p := range parts {
+			m.Merge(p)
+		}
+		return m.P95() + m.Mean() + m.Stddev()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("merge not deterministic: %v vs %v", a, b)
+	}
+}

@@ -128,6 +128,56 @@ func (e *P2Quantile) Value() float64 {
 // N returns the number of observations folded in.
 func (e *P2Quantile) N() int64 { return e.n }
 
+// Merge folds estimator o's state into e, for combining per-shard
+// estimates into a cell total. P² keeps no samples, so an exact merge
+// is impossible in general; instead o is replayed into e as synthetic
+// observations drawn from o's piecewise-linear inverse CDF (the five
+// markers define cumulative fractions (pos[i]-1)/(n-1) at heights
+// q[i]), one sample per original observation at the mid-rank points
+// u = (k+0.5)/n. When o has fewer than five observations its buffered
+// exact values are replayed verbatim. The merge is deterministic —
+// same inputs, same result — and o is left untouched.
+func (e *P2Quantile) Merge(o *P2Quantile) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if o.n < 5 {
+		for _, x := range o.init {
+			e.Add(x)
+		}
+		return
+	}
+	// Cumulative fraction reached at each marker of o.
+	var frac [5]float64
+	for i := range frac {
+		frac[i] = (o.pos[i] - 1) / float64(o.n-1)
+	}
+	for k := int64(0); k < o.n; k++ {
+		u := (float64(k) + 0.5) / float64(o.n)
+		e.Add(invCDF(u, frac, o.q))
+	}
+}
+
+// invCDF linearly interpolates the piecewise-linear inverse CDF defined
+// by cumulative fractions frac (ascending, frac[0]=0, frac[4]=1) and
+// heights q.
+func invCDF(u float64, frac, q [5]float64) float64 {
+	if u <= frac[0] {
+		return q[0]
+	}
+	for i := 0; i < 4; i++ {
+		if u <= frac[i+1] {
+			span := frac[i+1] - frac[i]
+			if span <= 0 {
+				return q[i+1]
+			}
+			t := (u - frac[i]) / span
+			return q[i] + t*(q[i+1]-q[i])
+		}
+	}
+	return q[4]
+}
+
 // Summary is the streaming aggregate -analyze reports per metric: count,
 // mean/stddev (Welford's single-pass update), extremes, and P² estimates
 // of the median and tail quantiles. Memory is O(1) per metric regardless
@@ -165,6 +215,36 @@ func (s *Summary) Add(x float64) {
 	s.p50.Add(x)
 	s.p95.Add(x)
 	s.p99.Add(x)
+}
+
+// Merge folds summary o into s, combining per-shard aggregates into a
+// cell total. Count, mean and m2 merge exactly (the parallel-variance
+// update of Chan, Golub & LeVeque: the cross-term d²·n_a·n_b/n adds the
+// between-stream contribution), as do min and max; the quantile
+// estimators merge approximately via P2Quantile.Merge. o is left
+// untouched. Merging in a fixed order keeps results deterministic.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n, s.mean, s.m2, s.min, s.max = o.n, o.mean, o.m2, o.min, o.max
+	} else {
+		d := o.mean - s.mean
+		n := s.n + o.n
+		s.mean += d * float64(o.n) / float64(n)
+		s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+		s.n = n
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+	}
+	s.p50.Merge(o.p50)
+	s.p95.Merge(o.p95)
+	s.p99.Merge(o.p99)
 }
 
 // N returns the observation count.

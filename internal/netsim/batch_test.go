@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"testing"
+
+	"mptcp/internal/sim"
+)
+
+// batchWorld builds the shared workload for the equivalence tests: two
+// 2-hop routes with asymmetric rates and delays (so event instants
+// rarely collide across links), a small drop-tail buffer on one path,
+// random loss on another, and a mid-run outage. Every packet-visible
+// outcome — delivery order, delivery times, link counters — must be
+// identical with and without batched departures.
+func batchWorld(batched bool) (*sim.Simulator, *Net, []*sink, []*Link) {
+	s := sim.New(99)
+	n := NewNet(s)
+	n.BatchDepartures = batched
+	la1 := NewLink("a1", 12, 3100*sim.Microsecond, 8)
+	la2 := NewLink("a2", 9, 7*sim.Millisecond, 64)
+	lb1 := NewLink("b1", 24, 5300*sim.Microsecond, 64)
+	lb2 := NewLink("b2", 6, 11*sim.Millisecond, 64)
+	lb1.LossRate = 0.2
+	sa, sb := &sink{net: n}, &sink{net: n}
+	ra := NewRoute(sa, la1, la2)
+	rb := NewRoute(sb, lb1, lb2)
+	for i := 0; i < 60; i++ {
+		i := i
+		at := sim.Time(i) * 1370 * sim.Microsecond
+		s.At(at, func() {
+			p := n.AllocPacket()
+			p.Size = 1500
+			p.Seq = int64(i)
+			n.Send(ra, p)
+			q := n.AllocPacket()
+			q.Size = 1500
+			q.Seq = int64(i)
+			n.Send(rb, q)
+		})
+	}
+	// A burst into the small buffer forces drop-tail, and an outage
+	// window strands queued and propagating packets on a2.
+	s.At(20*sim.Millisecond, func() { sendN(n, ra, 20, 1500) })
+	s.At(40*sim.Millisecond, func() { la2.SetDown(true) })
+	s.At(55*sim.Millisecond, func() { la2.SetDown(false) })
+	return s, n, []*sink{sa, sb}, []*Link{la1, la2, lb1, lb2}
+}
+
+// TestBatchedDeparturesEquivalence pins the batched path to the default
+// per-packet-event path on a workload exercising queueing, drop-tail,
+// random loss and a mid-run outage.
+func TestBatchedDeparturesEquivalence(t *testing.T) {
+	sDef, _, sinksDef, linksDef := batchWorld(false)
+	sBat, _, sinksBat, linksBat := batchWorld(true)
+	sDef.Run()
+	sBat.Run()
+	for i := range sinksDef {
+		d, b := sinksDef[i], sinksBat[i]
+		if len(d.got) != len(b.got) {
+			t.Fatalf("sink %d: %d deliveries default vs %d batched", i, len(d.got), len(b.got))
+		}
+		for j := range d.got {
+			if d.got[j] != b.got[j] || d.times[j] != b.times[j] {
+				t.Fatalf("sink %d delivery %d: default (seq %d, %v) vs batched (seq %d, %v)",
+					i, j, d.got[j], d.times[j], b.got[j], b.times[j])
+			}
+		}
+	}
+	for i := range linksDef {
+		if linksDef[i].Stats != linksBat[i].Stats {
+			t.Fatalf("link %s stats diverge: default %+v vs batched %+v",
+				linksDef[i].Name, linksDef[i].Stats, linksBat[i].Stats)
+		}
+	}
+}
+
+// TestBatchedHeapStaysSmall is the point of the batched path: with a
+// large in-flight population the event heap holds one timer per busy
+// link, not one event per packet.
+func TestBatchedHeapStaysSmall(t *testing.T) {
+	s := sim.New(1)
+	n := NewNet(s)
+	n.BatchDepartures = true
+	l := NewLink("l", 12, 50*sim.Millisecond, 1<<20)
+	dst := &drain{net: n}
+	r := NewRoute(dst, l)
+	for i := 0; i < 5000; i++ {
+		p := n.AllocPacket()
+		p.Size = 1500
+		n.Send(r, p)
+	}
+	// 5000 packets are queued or propagating, but only the link's one
+	// timer (plus nothing else) sits in the heap.
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("heap holds %d events with 5000 packets in flight, want 1", got)
+	}
+	s.Run()
+	if l.Stats.Departures != 5000 {
+		t.Fatalf("departures = %d, want 5000", l.Stats.Departures)
+	}
+}
+
+// TestBatchedZeroAllocSteadyState: once warm, the batched hop path must
+// allocate nothing per packet, like the default path.
+func TestBatchedZeroAllocSteadyState(t *testing.T) {
+	s := sim.New(1)
+	n := NewNet(s)
+	n.BatchDepartures = true
+	l1 := NewLink("l1", 1000, sim.Millisecond, 1<<20)
+	l2 := NewLink("l2", 1000, sim.Millisecond, 1<<20)
+	dst := &drain{net: n}
+	r := NewRoute(dst, l1, l2)
+	for i := 0; i < 2048; i++ {
+		p := n.AllocPacket()
+		p.Size = 1500
+		n.Send(r, p)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		p := n.AllocPacket()
+		p.Size = 1500
+		n.Send(r, p)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("batched hop path allocated %.1f objects/op, want 0", allocs)
+	}
+}

@@ -43,7 +43,20 @@ type Link struct {
 	departs    []sim.Time
 	head       int // index of first live entry in departs
 
+	// Batched-departure state (Net.BatchDepartures): the FIFO of
+	// accepted packets with their far-end arrival times, and the single
+	// timer armed at the head's arrival. Unused on the default path.
+	batch  []batchItem
+	bhead  int // index of first live entry in batch
+	btimer *sim.Timer
+
 	Stats LinkStats
+}
+
+// batchItem is one in-flight packet on the batched-departure path.
+type batchItem struct {
+	pkt *Packet
+	at  sim.Time // arrival at the far end: departure + PropDelay
 }
 
 // LinkStats accumulates per-link counters. Loss rate and utilisation for
@@ -206,7 +219,59 @@ func (l *Link) enqueue(n *Net, pkt *Packet) {
 	// accept time: packets still queued at run end, or stranded when the
 	// link goes down, must not count as departed.
 	pkt.txTime = tx
+	if n.BatchDepartures {
+		l.batchPush(n, pkt, depart+l.PropDelay)
+		return
+	}
 	n.Sim.Post(depart+l.PropDelay, n, pkt)
+}
+
+// batchPush appends pkt to the link's in-flight FIFO and arms the
+// link timer if it is idle. Arrival times are clamped monotone: a
+// mid-run SetDelay decrease could otherwise time a later acceptance
+// before an earlier one, and the FIFO head must always be the earliest
+// arrival for the single-timer scheme to be correct. (The default
+// per-packet-event path permits such overtaking; the batched path
+// trades that corner — irrelevant to workloads that never shrink a
+// delay mid-flight — for an O(links) heap.)
+func (l *Link) batchPush(n *Net, pkt *Packet, at sim.Time) {
+	if k := len(l.batch); k > l.bhead && at < l.batch[k-1].at {
+		at = l.batch[k-1].at
+	}
+	l.batch = append(l.batch, batchItem{pkt: pkt, at: at})
+	if l.btimer == nil {
+		l.btimer = n.Sim.NewTimer(func() { l.batchFire(n) })
+	}
+	if !l.btimer.Active() {
+		l.btimer.ResetAt(l.batch[l.bhead].at)
+	}
+}
+
+// batchFire delivers every FIFO entry whose arrival time has come —
+// crediting the link's departure accounting and forwarding, exactly as
+// the per-packet event path does — then rearms the timer at the next
+// head, if any.
+func (l *Link) batchFire(n *Net) {
+	now := n.Sim.Now()
+	for l.bhead < len(l.batch) && l.batch[l.bhead].at <= now {
+		it := l.batch[l.bhead]
+		l.batch[l.bhead] = batchItem{}
+		l.bhead++
+		if l.depart(n, it.pkt) {
+			n.forward(it.pkt)
+		}
+	}
+	if l.bhead > 1024 && l.bhead*2 >= len(l.batch) {
+		k := copy(l.batch, l.batch[l.bhead:])
+		for i := k; i < len(l.batch); i++ {
+			l.batch[i] = batchItem{}
+		}
+		l.batch = l.batch[:k]
+		l.bhead = 0
+	}
+	if l.bhead < len(l.batch) {
+		l.btimer.ResetAt(l.batch[l.bhead].at)
+	}
 }
 
 // depart completes pkt's crossing of the link when its scheduled event

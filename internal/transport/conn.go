@@ -194,6 +194,20 @@ var nextConnID atomic.Int64
 
 // NewConn builds a connection and its receiver, and wires the routes.
 func NewConn(nw *netsim.Net, cfg Config) *Conn {
+	c := &Conn{}
+	c.init(nw, cfg)
+	return c
+}
+
+// init (re)constructs the connection in place. A zero Conn becomes a
+// fresh connection; a completed connection is rebuilt for a new life
+// (ConnPool), reusing its subflows — with their grown meta rings — its
+// receiver's maps, and its scratch slices. Reuse requires an equal path
+// count (the pool keys on it); on mismatch everything is rebuilt.
+// Routes are always fresh allocations: packets from a previous life
+// still in flight keep their old route object intact, and the FlowID
+// guard in the receive paths discards them on arrival.
+func (c *Conn) init(nw *netsim.Net, cfg Config) {
 	if len(cfg.Paths) == 0 {
 		panic("transport: connection needs at least one path")
 	}
@@ -225,7 +239,15 @@ func NewConn(nw *netsim.Net, cfg Config) *Conn {
 	if cfg.Sched == nil {
 		cfg.Sched = sched.FirstFit{}
 	}
-	c := &Conn{
+	n := len(cfg.Paths)
+	// Salvage the reusable allocations of a previous life before the
+	// wholesale reset below clears every field.
+	subs, ccs, views, recv := c.subs, c.cc, c.views, c.recv
+	reinjectQ, dupNxt := c.reinjectQ, c.dupNxt
+	if len(subs) != n {
+		subs, ccs, views, recv, dupNxt = nil, nil, nil, nil, nil
+	}
+	*c = Conn{
 		ID:         int(nextConnID.Add(1)),
 		net:        nw,
 		cfg:        cfg,
@@ -237,27 +259,53 @@ func NewConn(nw *netsim.Net, cfg Config) *Conn {
 		tracer:     cfg.Tracer,
 		traceID:    cfg.Tracer.ConnID(), // nil-safe: -1 when tracing is off
 	}
+	if reinjectQ != nil {
+		c.reinjectQ = reinjectQ[:0]
+	}
 	c.rttObs, _ = c.alg.(cc.RTTObserver)
 	c.lossObs, _ = c.alg.(cc.LossObserver)
 	if d, ok := c.sched.(sched.Duplicator); ok {
 		c.redundant = d.Duplicates()
 	}
 	if c.redundant {
-		c.dupNxt = make([]int64, len(cfg.Paths))
+		if dupNxt != nil {
+			clear(dupNxt)
+			c.dupNxt = dupNxt
+		} else {
+			c.dupNxt = make([]int64, n)
+		}
 	}
-	c.views = make([]sched.View, len(cfg.Paths))
+	if views != nil {
+		c.views = views
+	} else {
+		c.views = make([]sched.View, n)
+	}
 	c.persistTimer = nw.Sim.NewTimer(c.persistProbe)
-	n := len(cfg.Paths)
-	c.cc = make([]core.Subflow, n)
-	c.recv = newReceiver(nw, c, n, cfg.RecvBuf)
+	if ccs != nil {
+		c.cc = ccs
+	} else {
+		c.cc = make([]core.Subflow, n)
+	}
+	if recv != nil {
+		recv.reset(nw, c, cfg.RecvBuf)
+		c.recv = recv
+	} else {
+		c.recv = newReceiver(nw, c, n, cfg.RecvBuf)
+	}
+	c.subs = subs
 	for i, p := range cfg.Paths {
-		sf := newSubflow(c, i)
+		var sf *Subflow
+		if subs != nil {
+			sf = subs[i]
+			sf.reset(c)
+		} else {
+			sf = newSubflow(c, i)
+			c.subs = append(c.subs, sf)
+		}
 		sf.fwd = netsim.NewRoute(c.recv, p.Fwd...)
 		c.recv.rev[i] = netsim.NewRoute(sf, p.Rev...)
 		c.cc[i] = core.Subflow{Cwnd: cfg.InitialCwnd, SSThresh: math.Inf(1)}
-		c.subs = append(c.subs, sf)
 	}
-	return c
 }
 
 // Start begins transmission at the current simulated time.

@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"testing"
+
+	"mptcp/internal/netsim"
+	"mptcp/internal/sim"
+)
+
+// poolFlowRecord is one flow's observable outcome in the pool tests.
+type poolFlowRecord struct {
+	started, done sim.Time
+	delivered     int64
+	retx          int64
+}
+
+// runFlowSequence runs `count` finite two-path flows back to back in
+// one world — each next flow starts 50 ms after the previous completes
+// — and returns their outcomes. With usePool the flows cycle through a
+// ConnPool; otherwise every flow is a fresh NewConn. One forward link
+// carries random loss so recovery machinery (and its rng draws) is
+// exercised too.
+func runFlowSequence(seed int64, count int, usePool bool) []poolFlowRecord {
+	s := sim.New(seed)
+	n := netsim.NewNet(s)
+	mkPaths := func() []Path {
+		l1 := netsim.NewLink("p1", 8, 10*sim.Millisecond, 20)
+		l2 := netsim.NewLink("p2", 4, 25*sim.Millisecond, 20)
+		l1.LossRate = 0.01
+		r1 := netsim.NewLink("p1-rev", 8, 10*sim.Millisecond, 20)
+		r2 := netsim.NewLink("p2-rev", 4, 25*sim.Millisecond, 20)
+		return []Path{{Fwd: []*netsim.Link{l1}, Rev: []*netsim.Link{r1}},
+			{Fwd: []*netsim.Link{l2}, Rev: []*netsim.Link{r2}}}
+	}
+	paths := mkPaths()
+	var pool *ConnPool
+	if usePool {
+		pool = NewConnPool(n)
+	}
+	out := make([]poolFlowRecord, 0, count)
+	var launch func(i int)
+	launch = func(i int) {
+		if i >= count {
+			return
+		}
+		var c *Conn
+		cfg := Config{
+			Paths:       paths,
+			DataPackets: 400,
+			RecvBuf:     64,
+			OnComplete: func() {
+				rec := poolFlowRecord{
+					started:   c.StartedAt(),
+					done:      c.CompletedAt(),
+					delivered: c.Delivered(),
+				}
+				for _, sf := range c.Subflows() {
+					rec.retx += sf.PktsRetx
+				}
+				out = append(out, rec)
+				if usePool {
+					pool.Put(c)
+				}
+				s.After(50*sim.Millisecond, func() { launch(i + 1) })
+			},
+		}
+		if usePool {
+			c = pool.Get(cfg)
+		} else {
+			c = NewConn(n, cfg)
+		}
+		c.Start()
+	}
+	launch(0)
+	s.RunUntil(120 * sim.Second)
+	if usePool && pool.Reuses == 0 && count > 1 {
+		panic("pool never recycled a connection")
+	}
+	return out
+}
+
+// TestConnPoolTransparent pins pooling as a pure allocation
+// optimisation: a sequence of flows through the pool produces exactly
+// the outcomes of the same sequence with fresh connections — same
+// start/completion times, deliveries and retransmission counts.
+func TestConnPoolTransparent(t *testing.T) {
+	fresh := runFlowSequence(31, 6, false)
+	pooled := runFlowSequence(31, 6, true)
+	if len(fresh) != 6 || len(pooled) != 6 {
+		t.Fatalf("completed %d fresh / %d pooled flows, want 6 each", len(fresh), len(pooled))
+	}
+	for i := range fresh {
+		if fresh[i] != pooled[i] {
+			t.Fatalf("flow %d diverges: fresh %+v vs pooled %+v", i, fresh[i], pooled[i])
+		}
+	}
+}
+
+// TestConnPoolRecyclesObjects verifies the pool actually reuses the
+// connection object (keyed by path count) and that its subflows' grown
+// state carries over as capacity, not as state.
+func TestConnPoolRecyclesObjects(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.NewNet(s)
+	l := netsim.NewLink("l", 10, 5*sim.Millisecond, 50)
+	r := netsim.NewLink("r", 10, 5*sim.Millisecond, 50)
+	paths := []Path{{Fwd: []*netsim.Link{l}, Rev: []*netsim.Link{r}}}
+	pool := NewConnPool(n)
+
+	c1 := pool.Get(Config{Paths: paths, DataPackets: 50})
+	c1.Start()
+	s.RunUntil(30 * sim.Second)
+	if !c1.Done() {
+		t.Fatal("first flow did not complete")
+	}
+	pool.Put(c1)
+
+	c2 := pool.Get(Config{Paths: paths, DataPackets: 50})
+	if c2 != c1 {
+		t.Fatal("pool did not recycle the completed connection")
+	}
+	if c2.Done() || c2.Delivered() != 0 || c2.StartedAt() != 0 {
+		t.Fatalf("recycled connection leaked state: done=%v delivered=%d", c2.Done(), c2.Delivered())
+	}
+	c2.Start()
+	s.RunUntil(60 * sim.Second)
+	if !c2.Done() || c2.Delivered() != 50 {
+		t.Fatalf("recycled flow: done=%v delivered=%d, want 50", c2.Done(), c2.Delivered())
+	}
+	if pool.Gets != 2 || pool.Reuses != 1 {
+		t.Fatalf("pool stats gets=%d reuses=%d, want 2/1", pool.Gets, pool.Reuses)
+	}
+}
+
+// TestConnPoolRejectsLiveConn: pooling a connection that has not
+// completed is a caller bug and must panic.
+func TestConnPoolRejectsLiveConn(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.NewNet(s)
+	l := netsim.NewLink("l", 10, 5*sim.Millisecond, 50)
+	r := netsim.NewLink("r", 10, 5*sim.Millisecond, 50)
+	pool := NewConnPool(n)
+	c := pool.Get(Config{Paths: []Path{{Fwd: []*netsim.Link{l}, Rev: []*netsim.Link{r}}}, DataPackets: 50})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of a live connection did not panic")
+		}
+	}()
+	pool.Put(c)
+}

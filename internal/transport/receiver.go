@@ -58,6 +58,25 @@ func newReceiver(nw *netsim.Net, c *Conn, nsub int, bufCap int64) *Receiver {
 	return r
 }
 
+// reset rebuilds the receiver for a new life of a pooled connection:
+// all sequence state returns to zero, the out-of-order maps are cleared
+// (keeping their buckets), and the reverse routes are rewired by
+// Conn.init afterwards.
+func (r *Receiver) reset(nw *netsim.Net, c *Conn, bufCap int64) {
+	r.net = nw
+	r.conn = c
+	for i := range r.subRcvNxt {
+		r.subRcvNxt[i] = 0
+		r.subDelivered[i] = 0
+		clear(r.subOOO[i])
+	}
+	clear(r.dataOOO)
+	r.dataRcvNxt, r.maxHeld = 0, 0
+	r.bufCap, r.readPt = bufCap, 0
+	r.stalled = false
+	r.Overflow, r.DupData = 0, 0
+}
+
 // SetAppStalled freezes or resumes the receiving application's reads.
 // While stalled, in-order data accumulates in the shared buffer and the
 // advertised window closes; on resume all pending data drains and a
@@ -88,6 +107,12 @@ func (r *Receiver) Window() int64 {
 
 // Receive consumes a data packet (netsim.Endpoint).
 func (r *Receiver) Receive(pkt *netsim.Packet) {
+	if pkt.FlowID != r.conn.ID {
+		// Straggler from a previous life of a pooled connection (see
+		// Subflow.Receive): drop without acknowledging.
+		r.net.FreePacket(pkt)
+		return
+	}
 	sfID := pkt.SubflowID
 	seq, dataSeq, sentAt := pkt.Seq, pkt.DataSeq, pkt.SentAt
 	probe := pkt.IsProbe

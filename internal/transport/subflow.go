@@ -91,6 +91,17 @@ func newSubflow(c *Conn, id int) *Subflow {
 	return sf
 }
 
+// reset rebuilds the subflow for a new life of a pooled connection:
+// every field returns to its newSubflow value, but the meta ring keeps
+// its grown size (zeroed) and the RTO timer comes from the simulator's
+// freelist. The forward route is wired by Conn.init afterwards.
+func (sf *Subflow) reset(c *Conn) {
+	meta, mask, id := sf.meta, sf.mask, sf.id
+	clear(meta)
+	*sf = Subflow{conn: c, id: id, meta: meta, mask: mask, rto: initialRTO}
+	sf.rtoTimer = c.net.Sim.NewTimer(sf.onRTO)
+}
+
 func (sf *Subflow) cc() *core.Subflow { return &sf.conn.cc[sf.id] }
 
 // outstanding is the number of unacknowledged packets in flight.
@@ -204,6 +215,14 @@ func (sf *Subflow) transmit(seq int64, retx bool) {
 
 // Receive consumes an ACK delivered by the network (netsim.Endpoint).
 func (sf *Subflow) Receive(pkt *netsim.Packet) {
+	if pkt.FlowID != sf.conn.ID {
+		// A straggler from a previous life of a pooled connection: its
+		// route still terminates here, but its sequence numbers belong
+		// to the finished flow. Connection IDs never repeat, so the
+		// guard costs non-pooled workloads nothing.
+		sf.conn.net.FreePacket(pkt)
+		return
+	}
 	ack := pkt.Ack
 	dataAck, rcvWnd, echo := pkt.DataAck, pkt.RcvWnd, pkt.EchoTS
 	hasSack, sackSeq := pkt.HasSack, pkt.SackSeq
