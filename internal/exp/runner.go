@@ -6,9 +6,10 @@
 // fresh world and fresh algorithm instances), so they can fan out across
 // a bounded worker pool. Determinism is preserved by derivation, not by
 // ordering: cell i of a run with base seed s always simulates with seed
-// CellSeed(s, i) = s*1e6 + i, and results are collected by cell index,
-// so the output is bit-identical for any Parallelism and any goroutine
-// schedule. See DESIGN.md §"Parallel runner" for the full scheme.
+// CellSeed(s, i) = sim.MixSeed(s, i), and results are collected by cell
+// index, so the output is bit-identical for any Parallelism and any
+// goroutine schedule. See DESIGN.md §"Parallel runner" for the full
+// scheme.
 
 package exp
 
@@ -16,18 +17,18 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"mptcp/internal/sim"
 )
 
-// cellSeedStride separates the seed spaces of adjacent base seeds; an
-// experiment may use up to cellSeedStride cells per run.
-const cellSeedStride = 1_000_000
-
 // CellSeed derives the simulator seed for trial cell idx of a run whose
-// base seed is base. Distinct (base, idx) pairs give distinct seeds for
-// any idx < cellSeedStride, so adding cells to an experiment never
-// perturbs the seeds of the cells before them.
+// base seed is base, via sim.MixSeed: for a fixed base, distinct idx
+// always give distinct seeds, so adding cells to an experiment never
+// perturbs the seeds of the cells before them; and chaining a second
+// derivation below a cell (sim.DomainSeed for sharded engines) never
+// overflows, which the old base*1e6+idx stride did for seeds ≥ ~9.2e6.
 func CellSeed(base int64, idx int) int64 {
-	return base*cellSeedStride + int64(idx)
+	return sim.MixSeed(base, idx)
 }
 
 // Runner executes independent units of work on a bounded worker pool.

@@ -1,11 +1,15 @@
 package exp
 
 import (
+	"fmt"
+	"math"
 	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"mptcp/internal/sim"
 )
 
 func TestRunnerDoRunsEveryIndexOnce(t *testing.T) {
@@ -50,21 +54,47 @@ func TestRunnerDoEmpty(t *testing.T) {
 }
 
 func TestCellSeedDerivation(t *testing.T) {
-	if got := CellSeed(42, 0); got != 42*cellSeedStride {
-		t.Errorf("CellSeed(42, 0) = %d", got)
+	// The derivation is pinned to sim.MixSeed: a silent change to the
+	// mix would invalidate every golden in the repo at once.
+	if got, want := CellSeed(42, 0), sim.MixSeed(42, 0); got != want {
+		t.Errorf("CellSeed(42, 0) = %d, want %d", got, want)
 	}
-	if got := CellSeed(42, 7); got != 42*cellSeedStride+7 {
-		t.Errorf("CellSeed(42, 7) = %d", got)
+	if got, want := CellSeed(42, 7), sim.MixSeed(42, 7); got != want {
+		t.Errorf("CellSeed(42, 7) = %d, want %d", got, want)
 	}
-	// Distinct (base, idx) pairs within the stride give distinct seeds.
+	// Distinct (base, idx) pairs give distinct seeds — including the
+	// huge bases that overflowed the old base*1e6+idx stride scheme.
 	seen := map[int64]bool{}
-	for base := int64(1); base <= 3; base++ {
-		for idx := 0; idx < 100; idx++ {
+	for _, base := range []int64{0, 1, 2, 3, 42, -7, 9_200_000, 9_200_001, 1 << 40, math.MaxInt64} {
+		for idx := 0; idx < 1000; idx++ {
 			s := CellSeed(base, idx)
 			if seen[s] {
 				t.Fatalf("seed collision at base %d idx %d", base, idx)
 			}
 			seen[s] = true
+		}
+	}
+}
+
+// TestChainedSeedDerivationNoCollision is the regression test for the
+// seed-overflow bug: the fleet experiment derives
+// DomainSeed(CellSeed(base, i), j), and under the old stride scheme the
+// intermediate seed wrapped int64 for base ≥ ~9.2e6, letting chained
+// seeds from different cells collide. The mix keeps every chained pair
+// distinct even for extreme bases.
+func TestChainedSeedDerivationNoCollision(t *testing.T) {
+	seen := map[int64]string{}
+	for _, base := range []int64{42, 9_200_000, 1 << 55, math.MinInt64} {
+		for i := 0; i < 64; i++ {
+			cell := CellSeed(base, i)
+			for j := 0; j < 64; j++ {
+				s := sim.DomainSeed(cell, j)
+				key := fmt.Sprintf("base %d cell %d domain %d", base, i, j)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("chained seed collision: %s and %s both derive %d", prev, key, s)
+				}
+				seen[s] = key
+			}
 		}
 	}
 }

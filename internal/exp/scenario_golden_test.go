@@ -13,7 +13,9 @@ import "testing"
 //	go run ./cmd/mptcp-exp -run fig17-mobility -scale 0.1 -seed 7 -json
 //	go run ./cmd/mptcp-exp -run ablation-reinject -scale 0.5 -seed 42 -json
 //
-// and say why in the commit message.
+// and say why in the commit message. (Last re-pinned when CellSeed
+// moved from the stride scheme to sim.MixSeed — every cell seed
+// changed, not the dynamics semantics.)
 func TestScenarioRewireGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-experiment golden comparison")
@@ -27,17 +29,17 @@ func TestScenarioRewireGolden(t *testing.T) {
 		{
 			id: "fig17-mobility", seed: 42, scale: 0.05,
 			golden: map[string]float64{
-				"phase1_mbps": 5.107404255319149,
-				"phase2_mbps": 0.7040000000000001,
-				"phase3_mbps": 2.94,
+				"phase1_mbps": 4.904170212765957,
+				"phase2_mbps": 0.136,
+				"phase3_mbps": 2.61,
 			},
 		},
 		{
 			id: "fig17-mobility", seed: 7, scale: 0.1,
 			golden: map[string]float64{
-				"phase1_mbps": 4.991999999999999,
-				"phase2_mbps": 0.7159999999999999,
-				"phase3_mbps": 6.351000000000001,
+				"phase1_mbps": 4.717787234042553,
+				"phase2_mbps": 0.464,
+				"phase3_mbps": 5.975,
 			},
 		},
 		{

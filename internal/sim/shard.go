@@ -24,17 +24,13 @@ import (
 	"sync"
 )
 
-// domainSeedStride separates the seed spaces of adjacent base seeds,
-// mirroring internal/exp's cell-seed stride: an engine may host up to
-// domainSeedStride domains without two (base, index) pairs colliding.
-const domainSeedStride = 1_000_000
-
 // DomainSeed derives the simulator seed for domain idx of a sharded
-// engine whose base seed is base — the same discipline as the parallel
-// runner's CellSeed, so adding domains never perturbs the seeds of the
-// domains before them.
+// engine whose base seed is base — the same discipline (MixSeed) as the
+// parallel runner's CellSeed, so adding domains never perturbs the
+// seeds of the domains before them, and chaining the two derivations
+// (a sharded engine inside an experiment cell) never overflows.
 func DomainSeed(base int64, idx int) int64 {
-	return base*domainSeedStride + int64(idx)
+	return MixSeed(base, idx)
 }
 
 // Sharded coordinates n domain Simulators. Construct with NewSharded,

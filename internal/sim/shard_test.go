@@ -151,11 +151,16 @@ func TestShardedNoPipes(t *testing.T) {
 
 // TestDomainSeed pins the derived-seed discipline (mirrors CellSeed).
 func TestDomainSeed(t *testing.T) {
-	if got := DomainSeed(42, 0); got != 42_000_000 {
-		t.Fatalf("DomainSeed(42,0) = %d", got)
+	if got, want := DomainSeed(42, 0), MixSeed(42, 0); got != want {
+		t.Fatalf("DomainSeed(42,0) = %d, want MixSeed's %d", got, want)
 	}
-	if got := DomainSeed(42, 7); got != 42_000_007 {
-		t.Fatalf("DomainSeed(42,7) = %d", got)
+	if got, want := DomainSeed(42, 7), MixSeed(42, 7); got != want {
+		t.Fatalf("DomainSeed(42,7) = %d, want MixSeed's %d", got, want)
+	}
+	// Large bases must not wrap into colliding seed ranges (the old
+	// stride scheme overflowed int64 here).
+	if DomainSeed(9_200_000_000_000, 0) == DomainSeed(9_200_000_000_001, 0) {
+		t.Fatal("adjacent huge bases collide")
 	}
 	sh := NewSharded(42, 2)
 	a := sh.Domain(0).Rand().Int63()
