@@ -33,12 +33,26 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"mptcp/internal/exp"
 	"mptcp/internal/scenario"
 	"mptcp/internal/sched"
 )
+
+// dropNaN removes NaN-valued metrics before JSON encoding: encoding/json
+// rejects NaN, and an absent field is the honest rendering of "no
+// observations" (metrics.Summary's Min/Max sentinel; -analyze and
+// -diff show missing fields as "-").
+func dropNaN(m map[string]float64) map[string]float64 {
+	for k, v := range m {
+		if math.IsNaN(v) {
+			delete(m, k)
+		}
+	}
+	return m
+}
 
 // trialRecord is the JSONL shape emitted by -json, one line per
 // (experiment, trial): the batch identity plus the headline metrics.
@@ -205,7 +219,7 @@ func main() {
 						Scenario:  r.Scenario,
 						Scheduler: r.Scheduler,
 						RecvBuf:   r.RecvBuf,
-						Metrics:   r.Metrics,
+						Metrics:   dropNaN(r.Metrics),
 					}
 					if err := enc.Encode(cr); err != nil {
 						encErr = fmt.Errorf("encoding %s: %v", tr.ID, err)
@@ -221,7 +235,7 @@ func main() {
 				Seed:    tr.Seed,
 				Scale:   tr.Scale,
 				WallSec: tr.WallSec,
-				Metrics: tr.Result.Metrics,
+				Metrics: dropNaN(tr.Result.Metrics),
 				Notes:   tr.Result.Notes,
 			}
 			if err := enc.Encode(rec); err != nil {

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -207,8 +208,15 @@ func sortedMetricNames(g *group) []string {
 }
 
 // fmtG renders a float with strconv's shortest round-trippable form —
-// the same convention as the repo's other deterministic encoders.
-func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+// the same convention as the repo's other deterministic encoders. NaN
+// (metrics.Summary's "no observations" sentinel, e.g. Min/Max of an
+// empty summary) renders as "-".
+func fmtG(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
 
 func summaryCols(s *metrics.Summary) []string {
 	return []string{

@@ -2,6 +2,7 @@ package analyze
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"strings"
 	"testing"
@@ -20,6 +21,17 @@ func readTestdata(t *testing.T) *Report {
 		t.Fatal(err)
 	}
 	return rep
+}
+
+// TestFmtGNaN: NaN — metrics.Summary's "no observations" sentinel —
+// renders as "-" in tables and diffs, never as the string "NaN".
+func TestFmtGNaN(t *testing.T) {
+	if got := fmtG(math.NaN()); got != "-" {
+		t.Errorf("fmtG(NaN) = %q, want \"-\"", got)
+	}
+	if got := fmtG(1.5); got != "1.5" {
+		t.Errorf("fmtG(1.5) = %q", got)
+	}
 }
 
 // TestGoldenTournamentTable: the analyzer reproduces the checked-in

@@ -55,12 +55,14 @@ func fleetScheds() []string { return []string{"firstfit", "minrtt"} }
 
 // fleetOut is one cell's aggregate, already merged across domains.
 type fleetOut struct {
-	fct       *metrics.Summary // completion times, seconds
-	arrivals  int64
-	completed int64
-	pkts      int64 // data packets delivered by completed flows
-	transit   int64 // cross-shard transit bursts delivered
-	reuses    int64 // pool recycles (diagnostics)
+	fct        *metrics.Summary // completion times, seconds
+	arrivals   int64
+	completed  int64
+	incomplete int64 // flows still in flight at the horizon
+	pkts       int64 // data packets delivered by completed flows
+	partial    int64 // data packets delivered by incomplete flows
+	transit    int64 // cross-shard transit bursts delivered
+	reuses     int64 // pool recycles (diagnostics)
 }
 
 // fleetGroup is one partition domain: its own simulator, network,
@@ -150,24 +152,31 @@ func runFleet(cfg Config) *Result {
 		res.Metrics[key+"_fct_p50_s"] = c.fct.P50()
 		res.Metrics[key+"_fct_p99_s"] = c.fct.P99()
 		res.Metrics[key+"_completed"] = float64(c.completed)
+		// goodput counts completed and in-flight deliveries; the fct_*
+		// fields are omitted (not zero) when nothing completed, matching
+		// Summary's NaN-when-empty contract.
+		mets := map[string]float64{
+			"completed":    float64(c.completed),
+			"incomplete":   float64(c.incomplete),
+			"arrivals":     float64(c.arrivals),
+			"goodput_mbps": mbps(c.pkts+c.partial, cfg.dur(fleetDur)),
+			"transit":      float64(c.transit),
+			"pool_reuses":  float64(c.reuses),
+		}
+		if c.fct.N() > 0 {
+			mets["fct_p50_s"] = c.fct.P50()
+			mets["fct_p95_s"] = c.fct.P95()
+			mets["fct_p99_s"] = c.fct.P99()
+			mets["fct_mean_s"] = c.fct.Mean()
+			mets["fct_max_s"] = c.fct.Max()
+		}
 		res.Records = append(res.Records, Record{
 			Algorithm: name,
 			Topology:  "fleet32",
 			Scenario:  "poisson-pareto-churn",
 			Scheduler: sc,
 			RecvBuf:   fleetRecvBuf,
-			Metrics: map[string]float64{
-				"fct_p50_s":    c.fct.P50(),
-				"fct_p95_s":    c.fct.P95(),
-				"fct_p99_s":    c.fct.P99(),
-				"fct_mean_s":   c.fct.Mean(),
-				"fct_max_s":    c.fct.Max(),
-				"completed":    float64(c.completed),
-				"arrivals":     float64(c.arrivals),
-				"goodput_mbps": mbps(c.pkts, cfg.dur(fleetDur)),
-				"transit":      float64(c.transit),
-				"pool_reuses":  float64(c.reuses),
-			},
+			Metrics:   mets,
 		})
 		table.Rows = append(table.Rows, []string{
 			name, sc,
@@ -209,13 +218,18 @@ func runFleetCell(cell Config, algName, schedSpec string) fleetOut {
 
 	sh.Run(end)
 
-	// Deterministic merge in domain order.
+	// Deterministic merge in domain order. Flows still in flight at the
+	// horizon have delivered packets too — OnComplete never fired for
+	// them, so they are picked up here from the pool's live set; without
+	// this the cell's goodput undercounts everything in flight.
 	out := fleetOut{fct: metrics.NewSummary()}
 	for _, g := range groups {
 		out.fct.Merge(g.fct)
 		out.arrivals += g.env.ChurnArrivals
 		out.completed += g.completed
+		out.incomplete += g.pool.LiveCount()
 		out.pkts += g.pkts
+		out.partial += g.pool.LiveDelivered()
 		out.transit += g.transit
 		out.reuses += g.pool.Reuses
 	}

@@ -57,6 +57,29 @@ func TestFleetFCTHandComputed(t *testing.T) {
 	}
 }
 
+// TestFleetCountsIncompleteFlows is the regression test for the goodput
+// undercount: g.pkts grew only in OnComplete, so packets delivered by
+// flows still in flight at the horizon vanished from goodput_mbps. The
+// cell must pick those up from the pools' live sets at merge time and
+// report the in-flight population explicitly.
+func TestFleetCountsIncompleteFlows(t *testing.T) {
+	out := runFleetCell(Config{Seed: CellSeed(5, 0), Scale: 0.05}.norm(), "MPTCP", "minrtt")
+	if out.completed == 0 {
+		t.Fatal("no flows completed — the cell is too small to prove anything")
+	}
+	if out.incomplete == 0 {
+		t.Fatal("no flows in flight at the horizon — the regression check is vacuous at this seed/scale")
+	}
+	// Every churn arrival spawns exactly one pooled connection and every
+	// completion returns it, so the population must balance exactly.
+	if out.arrivals != out.completed+out.incomplete {
+		t.Errorf("arrivals %d != completed %d + incomplete %d", out.arrivals, out.completed, out.incomplete)
+	}
+	if out.partial <= 0 {
+		t.Errorf("in-flight flows delivered no packets (partial=%d); goodput would still undercount", out.partial)
+	}
+}
+
 // TestFleetShardInvariance is the regression test for the sharded
 // engine's core guarantee at the experiment layer: the fleet grid
 // produces bit-identical Records and Metrics whether each cell's 32

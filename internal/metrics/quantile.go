@@ -41,9 +41,14 @@ func NewP2Quantile(p float64) *P2Quantile {
 func (e *P2Quantile) Add(x float64) {
 	e.n++
 	if len(e.init) < 5 {
-		e.init = append(e.init, x)
+		// Keep the buffered prefix sorted as it grows (one insertion-sort
+		// step), so Value reads the order statistic in place instead of
+		// copying and re-sorting on every call.
+		i := sort.SearchFloat64s(e.init, x)
+		e.init = append(e.init, 0)
+		copy(e.init[i+1:], e.init[i:len(e.init)-1])
+		e.init[i] = x
 		if len(e.init) == 5 {
-			sort.Float64s(e.init)
 			copy(e.q[:], e.init)
 			e.pos = [5]float64{1, 2, 3, 4, 5}
 			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
@@ -108,7 +113,8 @@ func (e *P2Quantile) linear(i int, d float64) float64 {
 
 // Value returns the current quantile estimate. With fewer than five
 // observations it falls back to the exact order statistic of what has
-// been seen (0 when empty).
+// been seen (0 when empty). It never allocates: the buffered prefix is
+// kept sorted by Add.
 func (e *P2Quantile) Value() float64 {
 	if e.n >= 5 {
 		return e.q[2]
@@ -116,13 +122,11 @@ func (e *P2Quantile) Value() float64 {
 	if len(e.init) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), e.init...)
-	sort.Float64s(s)
-	idx := int(math.Ceil(e.p*float64(len(s)))) - 1
+	idx := int(math.Ceil(e.p*float64(len(e.init)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	return s[idx]
+	return e.init[idx]
 }
 
 // N returns the number of observations folded in.
@@ -135,8 +139,9 @@ func (e *P2Quantile) N() int64 { return e.n }
 // markers define cumulative fractions (pos[i]-1)/(n-1) at heights
 // q[i]), one sample per original observation at the mid-rank points
 // u = (k+0.5)/n. When o has fewer than five observations its buffered
-// exact values are replayed verbatim. The merge is deterministic —
-// same inputs, same result — and o is left untouched.
+// exact values are replayed verbatim (in ascending order — Add keeps
+// the buffer sorted). The merge is deterministic — same inputs, same
+// result — and o is left untouched.
 func (e *P2Quantile) Merge(o *P2Quantile) {
 	if o == nil || o.n == 0 {
 		return
@@ -266,18 +271,21 @@ func (s *Summary) Stddev() float64 {
 	return math.Sqrt(s.m2 / float64(s.n))
 }
 
-// Min returns the smallest observation (0 when empty).
+// Min returns the smallest observation, or NaN when the summary is
+// empty: a genuine 0 observation and "no observations" must stay
+// distinguishable (renderers show NaN as "-", JSONL emitters drop it).
 func (s *Summary) Min() float64 {
 	if s.n == 0 {
-		return 0
+		return math.NaN()
 	}
 	return s.min
 }
 
-// Max returns the largest observation (0 when empty).
+// Max returns the largest observation, or NaN when the summary is
+// empty — same contract as Min.
 func (s *Summary) Max() float64 {
 	if s.n == 0 {
-		return 0
+		return math.NaN()
 	}
 	return s.max
 }

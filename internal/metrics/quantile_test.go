@@ -136,10 +136,65 @@ func TestSummary(t *testing.T) {
 	}
 }
 
-// TestSummaryEmpty: the empty summary reports zeros, not infinities.
+// TestSummaryEmpty: the empty summary reports zero counts and moments,
+// and NaN extremes — never the sentinel infinities it is seeded with.
 func TestSummaryEmpty(t *testing.T) {
 	s := NewSummary()
-	if s.N() != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 || s.P50() != 0 {
-		t.Fatalf("empty summary leaks state: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	if s.N() != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.P50() != 0 {
+		t.Fatalf("empty summary leaks state: n=%d mean=%v", s.N(), s.Mean())
+	}
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty summary Min/Max = %v/%v, want NaN (must be distinguishable from a real 0 observation)", s.Min(), s.Max())
+	}
+}
+
+// TestSummaryZeroObservationDistinguishable is the regression test for
+// Min/Max returning 0 on an empty summary: a summary holding a genuine
+// 0 must report 0, an empty one must not.
+func TestSummaryZeroObservationDistinguishable(t *testing.T) {
+	s := NewSummary()
+	s.Add(0)
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("summary of {0}: Min/Max = %v/%v, want 0/0", s.Min(), s.Max())
+	}
+}
+
+// TestP2QuantileValueSmallNAllocFree pins the fix for Value()
+// re-allocating and re-sorting the init buffer on every call before the
+// markers exist: Add keeps the buffer sorted, Value reads it in place.
+func TestP2QuantileValueSmallNAllocFree(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	for _, x := range []float64{5, 1, 4, 2} { // deliberately unsorted
+		e.Add(x)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = e.Value() }); allocs != 0 {
+		t.Errorf("Value() allocates %v times per call with n<5, want 0", allocs)
+	}
+	// The exact order statistic must survive the in-place rewrite:
+	// ceil(0.5*4)-1 = index 1 of {1,2,4,5} = 2.
+	if got := e.Value(); got != 2 {
+		t.Errorf("median of {5,1,4,2} = %v, want 2", got)
+	}
+}
+
+// TestP2QuantileSortedInsertMatchesOldPath: the incremental insertion
+// must hand the marker initialisation the same sorted five values the
+// old sort-on-fifth-Add did, for any insertion order.
+func TestP2QuantileSortedInsertMatchesOldPath(t *testing.T) {
+	perm := []float64{3, 1, 5, 4, 2}
+	a := NewP2Quantile(0.9)
+	b := NewP2Quantile(0.9)
+	for _, x := range perm {
+		a.Add(x)
+	}
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		b.Add(x)
+	}
+	for i := int64(6); i <= 300; i++ {
+		a.Add(float64(i))
+		b.Add(float64(i))
+	}
+	if a.Value() != b.Value() {
+		t.Errorf("marker state depends on pre-marker insertion order: %v vs %v", a.Value(), b.Value())
 	}
 }

@@ -18,6 +18,7 @@ import "mptcp/internal/netsim"
 type ConnPool struct {
 	nw   *netsim.Net
 	free map[int][]*Conn
+	live map[*Conn]struct{}
 
 	// Gets counts Get calls; Reuses the subset served from the pool.
 	Gets, Reuses int64
@@ -25,7 +26,7 @@ type ConnPool struct {
 
 // NewConnPool returns an empty pool over nw.
 func NewConnPool(nw *netsim.Net) *ConnPool {
-	return &ConnPool{nw: nw, free: make(map[int][]*Conn)}
+	return &ConnPool{nw: nw, free: make(map[int][]*Conn), live: make(map[*Conn]struct{})}
 }
 
 // Get returns a connection configured with cfg — recycled when a
@@ -41,9 +42,12 @@ func (p *ConnPool) Get(cfg Config) *Conn {
 		p.free[k] = l[:len(l)-1]
 		p.Reuses++
 		c.init(p.nw, cfg)
+		p.live[c] = struct{}{}
 		return c
 	}
-	return NewConn(p.nw, cfg)
+	c := NewConn(p.nw, cfg)
+	p.live[c] = struct{}{}
+	return c
 }
 
 // Put hands a finished connection back for recycling. Only completed
@@ -55,6 +59,26 @@ func (p *ConnPool) Put(c *Conn) {
 	if !c.done {
 		panic("transport: pooling a connection that has not completed")
 	}
+	delete(p.live, c)
 	k := len(c.cfg.Paths)
 	p.free[k] = append(p.free[k], c)
+}
+
+// LiveCount returns the number of connections handed out by Get and not
+// yet returned by Put. Provided every completion path calls Put (the
+// pooled-workload convention), at a simulation horizon these are
+// exactly the flows still in flight.
+func (p *ConnPool) LiveCount() int64 { return int64(len(p.live)) }
+
+// LiveDelivered sums Delivered across the live connections: the data
+// packets already delivered by flows that have not completed. Workloads
+// add this to their completed-flow totals so goodput at a horizon does
+// not undercount in-flight transfers. Map iteration order is irrelevant
+// because the result is a sum.
+func (p *ConnPool) LiveDelivered() int64 {
+	var pkts int64
+	for c := range p.live {
+		pkts += c.Delivered()
+	}
+	return pkts
 }

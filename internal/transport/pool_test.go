@@ -132,6 +132,40 @@ func TestConnPoolRecyclesObjects(t *testing.T) {
 	}
 }
 
+// TestConnPoolLiveTracking: connections handed out by Get and not yet
+// returned by Put form the live set, and their partial deliveries are
+// visible mid-flight — the hook horizon accounting (fleet, appgrid)
+// uses to avoid undercounting in-flight flows.
+func TestConnPoolLiveTracking(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.NewNet(s)
+	l := netsim.NewLink("l", 10, 5*sim.Millisecond, 50)
+	r := netsim.NewLink("r", 10, 5*sim.Millisecond, 50)
+	paths := []Path{{Fwd: []*netsim.Link{l}, Rev: []*netsim.Link{r}}}
+	pool := NewConnPool(n)
+
+	c := pool.Get(Config{Paths: paths, DataPackets: 200})
+	if pool.LiveCount() != 1 || pool.LiveDelivered() != 0 {
+		t.Fatalf("after Get: live=%d delivered=%d, want 1/0", pool.LiveCount(), pool.LiveDelivered())
+	}
+	c.Start()
+	s.RunUntil(30 * sim.Millisecond)
+	if c.Done() {
+		t.Fatal("flow completed before the mid-flight check")
+	}
+	if d := pool.LiveDelivered(); d <= 0 || d != c.Delivered() {
+		t.Fatalf("mid-flight LiveDelivered = %d, want the conn's %d (> 0)", d, c.Delivered())
+	}
+	s.RunUntil(60 * sim.Second)
+	if !c.Done() {
+		t.Fatal("flow did not complete")
+	}
+	pool.Put(c)
+	if pool.LiveCount() != 0 || pool.LiveDelivered() != 0 {
+		t.Fatalf("after Put: live=%d delivered=%d, want 0/0", pool.LiveCount(), pool.LiveDelivered())
+	}
+}
+
 // TestConnPoolRejectsLiveConn: pooling a connection that has not
 // completed is a caller bug and must panic.
 func TestConnPoolRejectsLiveConn(t *testing.T) {
