@@ -9,6 +9,7 @@
 //	mptcp-exp -run all [-parallel 8] [-trials 5] [-json]
 //	mptcp-exp -exp dynamics [-scenario handover] [-json]
 //	mptcp-exp -exp schedgrid [-sched minrtt+otr+pen] [-json]
+//	mptcp-exp -exp appgrid [-workload video] [-json]
 //	mptcp-exp -exp dynamics -json -trace trace.jsonl
 //	mptcp-exp -exp fleet [-shards 4] -json
 //	mptcp-exp -analyze [-csv out.csv] grid.jsonl trace.jsonl
@@ -39,6 +40,7 @@ import (
 	"mptcp/internal/exp"
 	"mptcp/internal/scenario"
 	"mptcp/internal/sched"
+	"mptcp/internal/workload"
 )
 
 // dropNaN removes NaN-valued metrics before JSON encoding: encoding/json
@@ -68,10 +70,11 @@ type trialRecord struct {
 }
 
 // cellRecord is the JSONL shape for grid experiments (tournament,
-// dynamics, schedgrid): one line per grid cell of a trial, replacing
-// that trial's aggregate line. Scenario is set only by scenario-grid
-// experiments; Scheduler and RecvBuf only by scheduler-grid ones. The
-// full field-by-field schema is documented in DESIGN.md §"JSONL record
+// dynamics, schedgrid, appgrid): one line per grid cell of a trial,
+// replacing that trial's aggregate line. Scenario is set only by
+// scenario-grid experiments; Scheduler and RecvBuf only by scheduler-
+// grid ones; Workload only by the application-workload grid. The full
+// field-by-field schema is documented in DESIGN.md §"JSONL record
 // schema".
 type cellRecord struct {
 	ID        string             `json:"id"`
@@ -82,6 +85,7 @@ type cellRecord struct {
 	Topology  string             `json:"topology"`
 	Scenario  string             `json:"scenario,omitempty"`
 	Scheduler string             `json:"scheduler,omitempty"`
+	Workload  string             `json:"workload,omitempty"`
 	RecvBuf   int64              `json:"recv_buf,omitempty"`
 	Metrics   map[string]float64 `json:"metrics"`
 }
@@ -96,6 +100,7 @@ func main() {
 	trials := flag.Int("trials", 1, "repetitions per experiment, base seeds seed..seed+trials-1")
 	scenarioID := flag.String("scenario", "", "restrict the dynamics experiment to one scenario (see -list); cell seeds match the full grid")
 	schedSpec := flag.String("sched", "", "restrict the schedgrid experiment to one scheduler spec, e.g. minrtt+otr+pen (see -list); cell seeds match the full grid")
+	workloadID := flag.String("workload", "", "restrict the appgrid experiment to one application workload (see -list); cell seeds match the full grid")
 	jsonOut := flag.Bool("json", false, "emit one JSON record per trial instead of rendered reports")
 	traceOut := flag.String("trace", "", "write per-connection protocol traces (JSONL) to FILE for experiments that support tracing")
 	analyze := flag.Bool("analyze", false, "aggregate JSONL artifacts (grid records, trial records, traces) named as positional args ('-' or none = stdin) into summary tables")
@@ -138,6 +143,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *workloadID != "" {
+		if _, err := workload.Build(*workloadID, 1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if *benchEngine != "" {
 		commit := *benchCommit
@@ -164,6 +175,10 @@ func main() {
 		}
 		fmt.Println("\nPacket schedulers (schedgrid experiment, -sched <name>[+otr][+pen]):")
 		fmt.Print(sched.Help())
+		fmt.Println("\nApplication workloads (appgrid experiment, -workload <name>):")
+		for _, w := range workload.Infos() {
+			fmt.Printf("  %-24s %s\n", w.Name, w.Desc)
+		}
 		return
 	}
 	var exps []*exp.Experiment
@@ -178,7 +193,7 @@ func main() {
 		exps = []*exp.Experiment{e}
 	}
 
-	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel, Shards: *shards, Scenario: *scenarioID, Sched: *schedSpec}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, Parallelism: *parallel, Shards: *shards, Scenario: *scenarioID, Sched: *schedSpec, Workload: *workloadID}
 	if *traceOut != "" {
 		// Trials run concurrently and each flushes its own cells to the
 		// trace writer; one traced trial keeps the file deterministic.
@@ -218,6 +233,7 @@ func main() {
 						Topology:  r.Topology,
 						Scenario:  r.Scenario,
 						Scheduler: r.Scheduler,
+						Workload:  r.Workload,
 						RecvBuf:   r.RecvBuf,
 						Metrics:   dropNaN(r.Metrics),
 					}

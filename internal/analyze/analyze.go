@@ -52,6 +52,7 @@ type line struct {
 	Topology  string             `json:"topology"`
 	Scenario  string             `json:"scenario"`
 	Scheduler string             `json:"scheduler"`
+	Workload  string             `json:"workload"`
 	RecvBuf   int64              `json:"recv_buf"`
 	Metrics   map[string]float64 `json:"metrics"`
 	WallSec   float64            `json:"wall_s"`
@@ -78,8 +79,9 @@ func (g *group) met(name string) *metrics.Summary {
 // Report is the aggregate of one analysis pass.
 type Report struct {
 	// Cells aggregates grid cell records by (id, algorithm, topology,
-	// scenario, scheduler, recv_buf); Trials aggregates per-trial
-	// records by id; Traces aggregates trace events by (label, ev).
+	// scenario, scheduler, workload, recv_buf); Trials aggregates
+	// per-trial records by id; Traces aggregates trace events by
+	// (label, ev).
 	cells  map[string]*group
 	trials map[string]*group
 	traces map[string]*group
@@ -147,7 +149,7 @@ func getGroup(m map[string]*group, dims []string) *group {
 func (r *Report) addCell(l *line) {
 	r.CellLines++
 	g := getGroup(r.cells, []string{
-		l.ID, l.Algorithm, l.Topology, l.Scenario, l.Scheduler,
+		l.ID, l.Algorithm, l.Topology, l.Scenario, l.Scheduler, l.Workload,
 		strconv.FormatInt(l.RecvBuf, 10),
 	})
 	g.n++
@@ -226,7 +228,7 @@ func summaryCols(s *metrics.Summary) []string {
 	}
 }
 
-var cellHeader = []string{"id", "algorithm", "topology", "scenario", "scheduler", "recv_buf",
+var cellHeader = []string{"id", "algorithm", "topology", "scenario", "scheduler", "workload", "recv_buf",
 	"metric", "n", "mean", "stddev", "min", "p50", "p95", "p99", "max"}
 var trialHeader = []string{"id",
 	"metric", "n", "mean", "stddev", "min", "p50", "p95", "p99", "max"}

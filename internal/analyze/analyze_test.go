@@ -78,7 +78,7 @@ func TestAnalyzeDeterministic(t *testing.T) {
 	if c1 != c2 {
 		t.Error("CSV output not deterministic")
 	}
-	if !strings.HasPrefix(c1, "id,algorithm,topology,scenario,scheduler,recv_buf,metric,n,mean,stddev,min,p50,p95,p99,max\n") {
+	if !strings.HasPrefix(c1, "id,algorithm,topology,scenario,scheduler,workload,recv_buf,metric,n,mean,stddev,min,p50,p95,p99,max\n") {
 		t.Errorf("CSV header wrong:\n%s", c1[:min(len(c1), 200)])
 	}
 }

@@ -21,7 +21,7 @@ func Diff(a, b *Report) []Section {
 	var out []Section
 	if sec, ok := diffGroups(
 		fmt.Sprintf("Grid cell diff (A: %d records, B: %d records)", a.CellLines, b.CellLines),
-		cellHeader[:6], a.cells, b.cells); ok {
+		cellHeader[:7], a.cells, b.cells); ok {
 		out = append(out, sec)
 	}
 	if sec, ok := diffGroups(

@@ -96,7 +96,7 @@ func TestDiffCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.HasPrefix(out, "id,algorithm,topology,scenario,scheduler,recv_buf,metric,") {
+	if !strings.HasPrefix(out, "id,algorithm,topology,scenario,scheduler,workload,recv_buf,metric,") {
 		t.Errorf("unexpected CSV header: %q", strings.SplitN(out, "\n", 2)[0])
 	}
 }

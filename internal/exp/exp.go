@@ -47,6 +47,11 @@ type Config struct {
 	// scheduler spec (e.g. "minrtt+otr+pen"); empty runs the full grid.
 	// Like Scenario, filtering never changes a cell's derived seed.
 	Sched string
+	// Workload restricts workload-grid experiments (appgrid) to one
+	// named application workload (see internal/workload); empty runs
+	// the full grid. Like Scenario, filtering never changes a cell's
+	// derived seed.
+	Workload string
 	// TraceW, when non-nil, enables protocol tracing in experiments that
 	// support it (currently the dynamics grid): each cell records its
 	// connections' events into a private internal/trace tracer, and the
@@ -120,7 +125,11 @@ type Record struct {
 	// cell's multipath flows; 0 means unconstrained (grids without a
 	// buffer axis leave it 0).
 	RecvBuf int64
-	Metrics map[string]float64
+	// Workload names the application workload driving the cell's
+	// transfers (an internal/workload name such as "web" or "video");
+	// empty for grids without an application layer.
+	Workload string
+	Metrics  map[string]float64
 }
 
 // Result is everything an experiment reports.

@@ -148,7 +148,7 @@ func TestCollectKeepsCellOrder(t *testing.T) {
 // including their per-cell Records. A repeated same-seed parallel run
 // guards against any hidden shared state between cells.
 func TestDeterminismAcrossParallelism(t *testing.T) {
-	for _, id := range []string{"fig8-torus", "sec23-wifi3g-model", "tournament", "dynamics", "schedgrid", "fleet"} {
+	for _, id := range []string{"fig8-torus", "sec23-wifi3g-model", "tournament", "dynamics", "schedgrid", "fleet", "appgrid"} {
 		t.Run(id, func(t *testing.T) {
 			e, ok := Get(id)
 			if !ok {

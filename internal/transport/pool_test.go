@@ -166,6 +166,63 @@ func TestConnPoolLiveTracking(t *testing.T) {
 	}
 }
 
+// TestConnPoolRecycleInsideOnComplete: a workload may Put and re-Get
+// the completing connection from inside OnComplete (a web page fetching
+// the next object the instant its dependency lands). OnComplete runs
+// inside Subflow.Receive, in the middle of processing the final ACK of
+// the old life — the remainder of that ACK must not be applied to the
+// new life. Before the life-change guard in Subflow.Receive, the old
+// ACK's subflow cumulative ack pushed the fresh subflow's sndUna past
+// sndNxt (negative outstanding, later a panic in onRTO) and credited
+// the fresh window with phantom slow-start increments.
+func TestConnPoolRecycleInsideOnComplete(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.NewNet(s)
+	l := netsim.NewLink("l", 10, 5*sim.Millisecond, 50)
+	r := netsim.NewLink("r", 10, 5*sim.Millisecond, 50)
+	paths := []Path{{Fwd: []*netsim.Link{l}, Rev: []*netsim.Link{r}}}
+	pool := NewConnPool(n)
+
+	var completed int
+	var c *Conn
+	var spawn func()
+	spawn = func() {
+		c = pool.Get(Config{
+			Paths:       paths,
+			DataPackets: 6,
+			SendJitter:  -1,
+			OnComplete: func() {
+				completed++
+				pool.Put(c)
+				if completed >= 2 {
+					return
+				}
+				spawn() // recycle the conn inside the completing ACK
+				// 1 ms after the recycle — less than the 10 ms RTT, so
+				// no ACK of the new life has arrived yet — the new life
+				// must still be in its initial state: the old life's
+				// final ack (6) must not have touched it.
+				recycled := c
+				s.After(sim.Millisecond, func() {
+					sf := recycled.Subflows()[0]
+					if sf.sndUna > sf.sndNxt {
+						t.Errorf("old life's ack leaked into the new life: sndUna %d > sndNxt %d", sf.sndUna, sf.sndNxt)
+					}
+					if cw := recycled.Cwnd(0); cw != 2 {
+						t.Errorf("fresh cwnd = %v, want the initial 2 (phantom slow-start credits)", cw)
+					}
+				})
+			},
+		})
+		c.Start()
+	}
+	spawn()
+	s.RunUntil(30 * sim.Second)
+	if completed != 2 {
+		t.Fatalf("completed %d transfers, want 2", completed)
+	}
+}
+
 // TestConnPoolRejectsLiveConn: pooling a connection that has not
 // completed is a caller bug and must panic.
 func TestConnPoolRejectsLiveConn(t *testing.T) {

@@ -228,8 +228,15 @@ func (sf *Subflow) Receive(pkt *netsim.Packet) {
 	hasSack, sackSeq := pkt.HasSack, pkt.SackSeq
 	sf.conn.net.FreePacket(pkt)
 
+	// onDataAck may complete the connection, and a pooled connection's
+	// OnComplete may Put and re-Get it synchronously — Conn.init then
+	// rebuilds this very subflow for a new life before the callback
+	// returns here. The ID (fresh every life) detects that: the rest of
+	// this ACK belongs to the finished life, and applying its subflow
+	// cumulative ack to the new life would push sndUna past sndNxt.
+	life := sf.conn.ID
 	sf.conn.onDataAck(dataAck, rcvWnd)
-	if sf.conn.done {
+	if sf.conn.done || sf.conn.ID != life {
 		return
 	}
 	// An ACK is a countable duplicate only if it conveys new SACK

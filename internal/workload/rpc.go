@@ -1,0 +1,50 @@
+package workload
+
+import "mptcp/internal/sim"
+
+// RPC is the closed-loop request/response workload: Sessions
+// independent clients, each cycling think → request → response →
+// think. A session issues at most one request at a time — the closed
+// loop — so offered load self-clocks to the network's service rate,
+// and what degrades under a bad scheduler is the *latency* of each
+// request, summarised in Stats.Latency (seconds per request).
+type RPC struct {
+	Sessions  int
+	ThinkMean sim.Time // exponential think time between requests
+	ReqPkts   int64    // data packets per request
+}
+
+func (r RPC) Name() string { return "rpc" }
+
+func (r RPC) Install(env *Env) *Stats {
+	st := newStats()
+	for i := 0; i < r.Sessions; i++ {
+		s := &rpcSession{w: r, env: env, st: st}
+		s.think()
+	}
+	return st
+}
+
+type rpcSession struct {
+	w   RPC
+	env *Env
+	st  *Stats
+}
+
+func (s *rpcSession) think() {
+	gap := sim.Time(s.env.Sim.Rand().ExpFloat64() * float64(s.w.ThinkMean))
+	s.env.Sim.After(gap, s.request)
+}
+
+func (s *rpcSession) request() {
+	if s.env.Sim.Now() >= s.env.End {
+		return
+	}
+	s.st.Issued++
+	start := s.env.Sim.Now()
+	s.env.Spawn(s.w.ReqPkts, func() {
+		s.st.Completed++
+		s.st.Latency.Add((s.env.Sim.Now() - start).Seconds())
+		s.think()
+	})
+}

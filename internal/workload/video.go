@@ -1,0 +1,106 @@
+package workload
+
+import "mptcp/internal/sim"
+
+// Video is the DASH-style streaming workload: each session fetches
+// fixed-size chunks strictly in sequence, buffers them, and plays the
+// buffer down in real time. Playback starts once Startup chunks are
+// buffered; if the buffer drains mid-stream the player stalls (a
+// rebuffering event) until the threshold refills. Fetching pauses when
+// AheadMax chunks are buffered and resumes as playback drains.
+//
+// Stats: PlaySec/StallSec/Rebuffers carry the playback accounting —
+// rebuffer ratio = StallSec/(PlaySec+StallSec) — and Latency summarises
+// per-chunk fetch time in seconds; Issued/Completed count chunks.
+type Video struct {
+	Sessions  int
+	ChunkPkts int64    // data packets per chunk
+	ChunkDur  sim.Time // media duration of one chunk
+	Startup   int      // chunks buffered before playback starts/resumes
+	AheadMax  int      // buffer cap, in chunks; fetch pauses at the cap
+}
+
+func (v Video) Name() string { return "video" }
+
+func (v Video) Install(env *Env) *Stats {
+	st := newStats()
+	if v.Startup < 1 || v.AheadMax <= v.Startup {
+		panic("workload: video needs 1 <= Startup < AheadMax")
+	}
+	for i := 0; i < v.Sessions; i++ {
+		s := &videoSession{w: v, env: env, st: st}
+		s.fetch()
+		// Settle the playback clock at the horizon: without this, play
+		// and stall time since the last chunk arrival would be lost.
+		env.Sim.At(env.End, func() { s.advance(env.Sim.Now()) })
+	}
+	return st
+}
+
+type videoSession struct {
+	w   Video
+	env *Env
+	st  *Stats
+
+	buffered sim.Time // media time in the buffer, exact as of lastT
+	lastT    sim.Time // when buffered/playing were last reconciled
+	playing  bool
+	started  bool // playback has begun at least once
+}
+
+// advance reconciles the playback clock up to now. Between events the
+// buffer drains linearly, so reconciling only at chunk arrivals and the
+// horizon is exact: if the buffer ran dry inside the interval, the
+// drain instant — and the stall time after it — is recovered here.
+func (s *videoSession) advance(now sim.Time) {
+	dt := now - s.lastT
+	s.lastT = now
+	if !s.playing {
+		// Pre-start and stalled time before refill both count as stall
+		// once playback has begun; startup delay before first play does
+		// not.
+		if s.started {
+			s.st.StallSec += dt.Seconds()
+		}
+		return
+	}
+	if dt <= s.buffered {
+		s.buffered -= dt
+		s.st.PlaySec += dt.Seconds()
+		return
+	}
+	// The buffer ran dry mid-interval: play what was buffered, stall
+	// for the rest.
+	s.st.PlaySec += s.buffered.Seconds()
+	s.st.StallSec += (dt - s.buffered).Seconds()
+	s.buffered = 0
+	s.playing = false
+	s.st.Rebuffers++
+}
+
+func (s *videoSession) fetch() {
+	if s.env.Sim.Now() >= s.env.End {
+		return
+	}
+	s.st.Issued++
+	start := s.env.Sim.Now()
+	s.env.Spawn(s.w.ChunkPkts, func() {
+		now := s.env.Sim.Now()
+		s.st.Completed++
+		s.st.Latency.Add((now - start).Seconds())
+		s.advance(now)
+		s.buffered += s.w.ChunkDur
+		if !s.playing && s.buffered >= sim.Time(s.w.Startup)*s.w.ChunkDur {
+			s.playing = true
+			s.started = true
+		}
+		if full := sim.Time(s.w.AheadMax) * s.w.ChunkDur; s.buffered >= full {
+			// Buffer full: resume fetching once playback has drained
+			// one chunk's worth (exact — the drain is linear while
+			// playing, and a full buffer implies playing).
+			s.env.Sim.After(s.buffered-full+s.w.ChunkDur, s.fetch)
+			return
+		}
+		s.fetch()
+	})
+}
