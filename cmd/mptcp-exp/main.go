@@ -15,6 +15,7 @@
 //	mptcp-exp -analyze [-csv out.csv] grid.jsonl trace.jsonl
 //	mptcp-exp -analyze -diff A.jsonl B.jsonl
 //	mptcp-exp -bench-engine BENCH_engine.json [-bench-baseline BENCH_trajectory.jsonl]
+//	mptcp-exp -train-sched internal/learn/bandit.model -seed 1 -scale 0.2 [-train-rounds 40]
 //
 // Independent trial cells fan out across -parallel workers (default
 // GOMAXPROCS); results are bit-identical for every worker count. With
@@ -107,6 +108,8 @@ func main() {
 	diff := flag.Bool("diff", false, "with -analyze, compare exactly two JSONL files A and B and print per-cell delta tables instead of aggregates")
 	csvOut := flag.String("csv", "", "with -analyze, also write the summary rows as CSV to FILE ('-' = stdout)")
 	shards := flag.Int("shards", 0, "max concurrent partition domains per cell for sharded-engine experiments (fleet); 0 = GOMAXPROCS, results identical for every value")
+	trainSched := flag.String("train-sched", "", "train the learned bandit scheduler offline over the schedgrid corpus and write the serialized model to FILE (deterministic for a fixed -seed/-scale/-train-rounds)")
+	trainRounds := flag.Int("train-rounds", 40, "with -train-sched, passes over the training corpus (one ε-greedy episode per corpus cell per round)")
 	benchEngine := flag.String("bench-engine", "", "measure the event engine's packet-hop path (plus the sharded fleet-shaped workload) and write the record to FILE")
 	benchBaseline := flag.String("bench-baseline", "", "with -bench-engine, compare against the baseline record in FILE (.jsonl = last line of a trajectory) and fail if events/sec regressed >10%")
 	benchTrajectory := flag.String("bench-trajectory", "BENCH_trajectory.jsonl", "with -bench-engine, append the record as one JSONL line to FILE ('' disables)")
@@ -148,6 +151,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if *trainSched != "" {
+		if err := runTrainSched(*trainSched, *seed, *scale, *trainRounds, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *benchEngine != "" {

@@ -6,6 +6,7 @@ import (
 
 	"mptcp/internal/core"
 	"mptcp/internal/scenario"
+	"mptcp/internal/sched"
 	"mptcp/internal/sim"
 	"mptcp/internal/topo"
 	"mptcp/internal/transport"
@@ -17,16 +18,17 @@ func init() {
 		ID:  "appgrid",
 		Ref: "workload layer × §5–§6",
 		Desc: "Application-workload grid: every internal/workload behaviour (rpc, web, video, mice) × {minrtt, blest, " +
-			"minrtt+otr+pen} × {MPTCP, OLIA} × {WiFi+3G under handover, dual-homed server} with a 16-packet shared " +
+			"bandit, minrtt+otr+pen} × {MPTCP, OLIA} × {WiFi+3G under handover, dual-homed server} with a 16-packet shared " +
 			"receive buffer; per-cell page-load time, RPC tail latency, rebuffer ratio and mouse completion time.",
 		Run: runAppGrid,
 	})
 }
 
 // appSchedSpecs is the scheduler axis: plain minrtt (the baseline the
-// §6 countermeasures exist to fix), BLEST's HOL-blocking avoidance, and
-// minrtt with both §6 countermeasures composed on.
-func appSchedSpecs() []string { return []string{"minrtt", "blest", "minrtt+otr+pen"} }
+// §6 countermeasures exist to fix), BLEST's HOL-blocking avoidance, the
+// offline-trained bandit policy, and minrtt with both §6
+// countermeasures composed on.
+func appSchedSpecs() []string { return []string{"minrtt", "blest", "bandit", "minrtt+otr+pen"} }
 
 // appAlgs is the congestion-control axis — the paper's algorithm and
 // its successor, enough to show workload results are not an artifact of
@@ -130,13 +132,29 @@ func runAppGrid(cfg Config) *Result {
 			panic(fmt.Sprintf("exp: unknown workload %q (have %v)", cfg.Workload, wls))
 		}
 	}
+	if cfg.Sched != "" {
+		canon, err := sched.Canonical(cfg.Sched)
+		if err != nil {
+			panic(fmt.Sprintf("exp: bad scheduler spec %q: %v", cfg.Sched, err))
+		}
+		cfg.Sched = canon
+		found := false
+		for _, s := range specs {
+			if s == cfg.Sched {
+				found = true
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("exp: scheduler spec %q is not an appgrid column (have %v)", cfg.Sched, specs))
+		}
+	}
 
 	// One cell per (workload, scheduler, algorithm, topology) in
 	// workload-major order: registering a new workload appends its
-	// cells after the existing ones. A -workload filter selects a
-	// subset of cells but keeps each cell's full-grid index as its seed
-	// index, so a filtered run reproduces the corresponding cells of
-	// the full grid bit-for-bit.
+	// cells after the existing ones. A -workload or -sched filter
+	// selects a subset of cells but keeps each cell's full-grid index as
+	// its seed index, so a filtered run reproduces the corresponding
+	// cells of the full grid bit-for-bit.
 	type cellKey struct{ wi, si, ai, ti, idx int }
 	var sel []cellKey
 	idx := 0
@@ -144,7 +162,8 @@ func runAppGrid(cfg Config) *Result {
 		for si := range specs {
 			for ai := range algs {
 				for ti := range topos {
-					if cfg.Workload == "" || wls[wi] == cfg.Workload {
+					if (cfg.Workload == "" || wls[wi] == cfg.Workload) &&
+						(cfg.Sched == "" || specs[si] == cfg.Sched) {
 						sel = append(sel, cellKey{wi, si, ai, ti, idx})
 					}
 					idx++

@@ -28,9 +28,9 @@ func appGridRecord(t *testing.T, res *Result, wl, spec, alg, topo string) Record
 // application-visible win — the video workload rebuffers less and
 // completes more chunks than under plain minrtt, for both algorithms,
 // at the identical cell seeds. At this seed/scale the measured gaps are
-// wide (rebuffer ratio 0.81 → 0.57 for MPTCP, 0.80 → 0.53 for OLIA;
-// completed chunks roughly double), so the margins below trip only on a
-// real regression, not realisation noise.
+// wide (rebuffer ratio 0.71 → 0.54 for MPTCP, 0.80 → 0.64 for OLIA;
+// completed chunks 17 → 30 and 13 → 23), so the margins below trip only
+// on a real regression, not realisation noise.
 func TestAppGridVideoCountermeasuresCutRebuffering(t *testing.T) {
 	e, ok := Get("appgrid")
 	if !ok {

@@ -1,0 +1,256 @@
+// Offline training of the learned "bandit" scheduler.
+//
+// TrainSched replays the schedgrid corpus — the scheduler grid's
+// topology columns crossed with the blocking-prone receive buffers,
+// plus scenario-driven wifi3g episodes — with an ε-greedy exploring
+// bandit (sched.NewBanditExplorer), rewards each episode by its
+// multipath goodput normalized to the cell's minrtt baseline, and folds
+// the rewards into the policy table with learn.Model.Update. Everything
+// is derived from TrainConfig.Seed: episode worlds and exploration rngs
+// use disjoint sim.MixSeed index ranges, rounds snapshot the policy so
+// a round's episodes can run in parallel, and updates apply in fixed
+// cell order — so two same-config runs (at any Parallelism) produce
+// byte-identical serialized models. cmd/mptcp-exp -train-sched drives
+// this and writes Model.Marshal to disk; the checked-in model embedded
+// behind sched.New("bandit") is produced by the pinned command in
+// DESIGN.md §14.
+
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mptcp/internal/core"
+	"mptcp/internal/learn"
+	"mptcp/internal/scenario"
+	"mptcp/internal/sched"
+	"mptcp/internal/sim"
+	"mptcp/internal/topo"
+	"mptcp/internal/transport"
+)
+
+// trainCorpusName names the corpus in the model's provenance header.
+const trainCorpusName = "schedgrid-v1"
+
+// TrainConfig controls one offline training run.
+type TrainConfig struct {
+	// Seed derives every episode's world seed and exploration rng;
+	// equal configs give byte-identical models. Zero means 1.
+	Seed int64
+	// Scale is the per-episode duration scale (schedgrid cell
+	// durations × Scale). Zero means 0.2 — long enough for blocking
+	// dynamics, short enough that a full run stays in minutes.
+	Scale float64
+	// Rounds is the number of passes over the corpus; each round runs
+	// one ε-greedy episode per corpus cell with ε annealed toward
+	// greedy. Zero means 40.
+	Rounds int
+	// Parallelism bounds concurrent episodes within a round (rounds
+	// are sequential: each updates the policy the next explores from).
+	// Zero means GOMAXPROCS; results are identical for every value.
+	Parallelism int
+}
+
+func (t TrainConfig) norm() TrainConfig {
+	if t.Seed == 0 {
+		t.Seed = 1
+	}
+	if t.Scale <= 0 {
+		t.Scale = 0.2
+	}
+	if t.Rounds <= 0 {
+		t.Rounds = 40
+	}
+	return t
+}
+
+// trainCell is one corpus cell: a named world (topology × optional
+// scenario × receive buffer) an episode runs the exploring scheduler
+// in. The congestion controller is the paper's MPTCP throughout — the
+// policy's features are controller-agnostic (window headroom, not
+// window dynamics), and the grid's other controllers ride on the same
+// table.
+type trainCell struct {
+	name string
+	buf  int64
+	run  func(cell Config, spec schedSpec, alg core.Algorithm, recvBuf int64) schedOut
+}
+
+// trainCorpus is the episode corpus: every schedgrid topology column
+// under the two blocking-prone buffers (16 forces head-of-line
+// blocking, 64 binds mildly), plus dynamic wifi3g episodes under the
+// handover and flap scripts so the policy sees paths dying and
+// recovering, not just steady-state heterogeneity.
+func trainCorpus() []trainCell {
+	scen := func(name string) func(Config, schedSpec, core.Algorithm, int64) schedOut {
+		return func(cell Config, spec schedSpec, alg core.Algorithm, buf int64) schedOut {
+			return trainWiFi3GScenario(cell, spec, alg, buf, name)
+		}
+	}
+	return []trainCell{
+		{"torus/buf16", 16, schedTorus},
+		{"torus/buf64", 64, schedTorus},
+		{"dualhomed/buf16", 16, schedDualHomed},
+		{"dualhomed/buf64", 64, schedDualHomed},
+		{"wifi3g/buf16", 16, schedWiFi3G},
+		{"wifi3g/buf64", 64, schedWiFi3G},
+		{"wifi3g+handover/buf16", 16, scen("handover")},
+		{"wifi3g+flap/buf16", 16, scen("flap")},
+	}
+}
+
+// trainWiFi3GScenario is schedWiFi3G with a network-dynamics script
+// installed over the radios (the dynamics grid's wifi3g wiring, with
+// the scheduler/receive-buffer axis of the schedgrid).
+func trainWiFi3GScenario(cell Config, spec schedSpec, alg core.Algorithm, recvBuf int64, scen string) schedOut {
+	w := newWorld(cell.Seed)
+	warm, end := cell.dur(schedWarm), cell.dur(schedEnd)
+	wl := busyWireless()
+	mp := transport.NewConn(w.n, schedConfig(spec, alg, recvBuf, wl.Paths()))
+	tcpW := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[:1]})
+	tcpG := transport.NewConn(w.n, transport.Config{Paths: wl.Paths()[1:]})
+	mp.Start()
+	tcpW.Start()
+	tcpG.Start()
+	env := &scenario.Env{Sim: w.s, Net: w.n, Links: []*topo.Duplex{wl.WiFi, wl.G3}}
+	env.Spawn = func(pkts int64) {
+		c := transport.NewConn(w.n, transport.Config{
+			Paths:       []transport.Path{topo.PathThrough(wl.WiFi)},
+			DataPackets: pkts,
+		})
+		c.Start()
+	}
+	sc := scenario.MustBuild(scen, end)
+	sc.MustInstall(env)
+	rates := w.measure([]*transport.Conn{mp, tcpW, tcpG}, warm, end)
+	out := schedOut{mbps: rates[0]}
+	counters(&out, mp)
+	return out
+}
+
+// Disjoint sim.MixSeed index ranges: episodes use [0, 2·rounds·cells),
+// baselines and evaluations their own blocks far above.
+const (
+	trainBaseIdx = 1_000_000
+	trainEvalIdx = 2_000_000
+)
+
+// classicSpec wraps a registered scheduler name as a schedSpec column.
+func classicSpec(name string) schedSpec {
+	return schedSpec{spec: name, mk: func() sched.Scheduler { return sched.MustNew(name) }}
+}
+
+// banditSpec wraps one shared Bandit instance (frozen or exploring) as
+// a schedSpec column. Every connection of the episode's single-threaded
+// world shares the instance: for a frozen bandit that is trivially safe
+// (pure reads), for an explorer it is deterministic because all Picks
+// interleave on the simulator's event order.
+func banditSpec(b *sched.Bandit) schedSpec {
+	return schedSpec{spec: "bandit", mk: func() sched.Scheduler { return b }}
+}
+
+// TrainEval is one corpus cell's post-training comparison: the frozen
+// greedy policy against the two classical baselines the ROADMAP names,
+// on a held-out evaluation seed.
+type TrainEval struct {
+	Cell                  string
+	Bandit, MinRTT, Blest float64 // multipath Mb/s
+}
+
+// TrainReport summarizes a training run for the CLI. It contains no
+// wall-clock or environment data: two same-config runs render
+// identical bytes.
+type TrainReport struct {
+	Corpus   string
+	Seed     int64
+	Scale    float64
+	Rounds   int
+	Episodes int64
+	Eval     []TrainEval
+}
+
+// Render writes the deterministic human-readable training report.
+func (r *TrainReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== train-sched ==\ncorpus %s seed %d scale %g rounds %d episodes %d\n",
+		r.Corpus, r.Seed, r.Scale, r.Rounds, r.Episodes)
+	fmt.Fprintf(w, "\n%-24s %10s %10s %10s\n", "cell (Mb/s, eval seed)", "bandit", "minrtt", "blest")
+	for _, e := range r.Eval {
+		fmt.Fprintf(w, "%-24s %10.3f %10.3f %10.3f\n", e.Cell, e.Bandit, e.MinRTT, e.Blest)
+	}
+}
+
+// TrainSched trains the bandit policy over the corpus and returns the
+// frozen model plus the evaluation report. Deterministic: equal
+// TrainConfigs yield byte-identical Model.Marshal output at any
+// Parallelism.
+func TrainSched(cfg TrainConfig) (*learn.Model, *TrainReport) {
+	cfg = cfg.norm()
+	corpus := trainCorpus()
+	runner := Runner{Parallelism: cfg.Parallelism}
+
+	episode := func(ci int, seed int64, spec schedSpec) schedOut {
+		cell := Config{Seed: seed, Scale: cfg.Scale}.norm()
+		cell.Seed = seed // norm leaves non-zero seeds alone; keep explicit
+		return corpus[ci].run(cell, spec, newAlg("MPTCP"), corpus[ci].buf)
+	}
+
+	// Per-cell minrtt baselines normalize rewards: Mb/s differs by an
+	// order of magnitude across topologies, and the policy must not
+	// learn "torus episodes are worth more".
+	base := make([]float64, len(corpus))
+	runner.Do(len(corpus), func(ci int) {
+		out := episode(ci, CellSeed(cfg.Seed, trainBaseIdx+ci), classicSpec("minrtt"))
+		base[ci] = out.mbps
+		if base[ci] < 0.05 {
+			base[ci] = 0.05
+		}
+	})
+
+	model := &learn.Model{Corpus: trainCorpusName, Seed: cfg.Seed}
+	for r := 0; r < cfg.Rounds; r++ {
+		// Snapshot the policy: the round's episodes all explore from the
+		// same frozen view, so they are order-independent and can fan
+		// out; updates apply afterwards in cell order.
+		frozen := model.Clone()
+		eps := 0.5*(1-float64(r)/float64(cfg.Rounds)) + 0.05
+		type epOut struct {
+			ep     *learn.Episode
+			reward float64
+		}
+		outs := make([]epOut, len(corpus))
+		runner.Do(len(corpus), func(ci int) {
+			ei := r*len(corpus) + ci
+			ep := &learn.Episode{}
+			rng := rand.New(rand.NewSource(sim.MixSeed(cfg.Seed, 2*ei+1)))
+			expl := sched.NewBanditExplorer(frozen, rng, eps, ep)
+			out := episode(ci, CellSeed(cfg.Seed, 2*ei), banditSpec(expl))
+			outs[ci] = epOut{ep: ep, reward: out.mbps / base[ci]}
+		})
+		for ci := range outs {
+			model.Update(outs[ci].ep, outs[ci].reward)
+		}
+	}
+
+	// Held-out evaluation: frozen greedy policy vs minrtt and blest on
+	// per-cell eval seeds none of the episodes used.
+	report := &TrainReport{
+		Corpus:   model.Corpus,
+		Seed:     cfg.Seed,
+		Scale:    cfg.Scale,
+		Rounds:   cfg.Rounds,
+		Episodes: model.Episodes,
+		Eval:     make([]TrainEval, len(corpus)),
+	}
+	runner.Do(len(corpus), func(ci int) {
+		seed := CellSeed(cfg.Seed, trainEvalIdx+ci)
+		report.Eval[ci] = TrainEval{
+			Cell:   corpus[ci].name,
+			Bandit: episode(ci, seed, banditSpec(sched.NewBanditFrom(model))).mbps,
+			MinRTT: episode(ci, seed, classicSpec("minrtt")).mbps,
+			Blest:  episode(ci, seed, classicSpec("blest")).mbps,
+		}
+	})
+	return model, report
+}

@@ -1,0 +1,37 @@
+package learn
+
+import _ "embed"
+
+// bandit.model is the checked-in trained policy behind sched.New
+// ("bandit"). It is produced by the deterministic offline trainer —
+// the exact pinned command is documented in DESIGN.md §14 — and
+// re-running that command must reproduce the file byte-for-byte.
+//
+//go:embed bandit.model
+var embedded []byte
+
+// EmbeddedBytes returns the checked-in trained model file. Callers
+// parse it with Parse; internal/sched caches the result behind the
+// "bandit" registry entry.
+func EmbeddedBytes() []byte { return embedded }
+
+// Meta is the provenance header of a model file, extracted leniently:
+// MetaOf never fails, it reports whatever headers it could read (a
+// registry Info line must be buildable even from a damaged file —
+// loading, not listing, is where corruption must error).
+type Meta struct {
+	Version  string
+	Corpus   string
+	Seed     int64
+	Episodes int64
+	OK       bool // true when the full header parsed
+}
+
+// MetaOf scans the provenance header of a serialized model.
+func MetaOf(data []byte) Meta {
+	m, err := Parse(data)
+	if err != nil {
+		return Meta{}
+	}
+	return Meta{Version: modelVersion, Corpus: m.Corpus, Seed: m.Seed, Episodes: m.Episodes, OK: true}
+}

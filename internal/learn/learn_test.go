@@ -1,0 +1,271 @@
+package learn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestClassifierRanges(t *testing.T) {
+	// Every classifier output must be a legal index for its dimension,
+	// over a sweep of adversarial inputs.
+	for _, srtt := range []float64{-1, 0, 0.001, 0.05, 0.2, 10} {
+		for _, min := range []float64{-1, 0, 0.001, 0.05, 0.2} {
+			if c := RTTClass(srtt, min); c < 0 || c >= NRTT {
+				t.Fatalf("RTTClass(%g, %g) = %d out of range", srtt, min, c)
+			}
+		}
+	}
+	for _, free := range []int64{-5, 0, 1, 2, 7, 100} {
+		for _, w := range []int64{-1, 0, 1, 4, 10, 1 << 40} {
+			if c := HeadroomClass(free, w); c < 0 || c >= NHeadroom {
+				t.Fatalf("HeadroomClass(%d, %d) = %d out of range", free, w, c)
+			}
+		}
+	}
+	for _, w := range []int64{-10, 0, 3, 4, 15, 16, 63, 64, 1 << 50} {
+		if c := PressureClass(w); c < 0 || c >= NPressure {
+			t.Fatalf("PressureClass(%d) = %d out of range", w, c)
+		}
+	}
+}
+
+func TestClassifierBoundaries(t *testing.T) {
+	// The documented thresholds, exactly.
+	if got := RTTClass(0, 0.1); got != 0 {
+		t.Errorf("unmeasured RTT class = %d, want 0", got)
+	}
+	if got := RTTClass(0.1, 0); got != 1 {
+		t.Errorf("only-measured RTT class = %d, want 1", got)
+	}
+	if got := RTTClass(RTTNear*0.1, 0.1); got != 1 {
+		t.Errorf("ratio == RTTNear class = %d, want 1", got)
+	}
+	if got := RTTClass(RTTFar*0.1, 0.1); got != 2 {
+		t.Errorf("ratio == RTTFar class = %d, want 2", got)
+	}
+	if got := RTTClass(RTTFar*0.1*1.01, 0.1); got != 3 {
+		t.Errorf("ratio > RTTFar class = %d, want 3", got)
+	}
+	if got := PressureClass(PressTight - 1); got != 0 {
+		t.Errorf("PressureClass(%d) = %d, want 0", PressTight-1, got)
+	}
+	if got := PressureClass(PressLow - 1); got != 1 {
+		t.Errorf("PressureClass(%d) = %d, want 1", PressLow-1, got)
+	}
+	if got := PressureClass(PressMid); got != 3 {
+		t.Errorf("PressureClass(%d) = %d, want 3", PressMid, got)
+	}
+	if got := HeadroomClass(1, 4); got != 0 {
+		t.Errorf("HeadroomClass(1, 4) = %d, want 0", got)
+	}
+	if got := HeadroomClass(2, 4); got != 1 {
+		t.Errorf("HeadroomClass(2, 4) = %d, want 1", got)
+	}
+	if got := HeadroomClass(3, 4); got != 2 {
+		t.Errorf("HeadroomClass(3, 4) = %d, want 2", got)
+	}
+}
+
+func TestActionIndexBijective(t *testing.T) {
+	seen := map[int]bool{}
+	for r := 0; r < NRTT; r++ {
+		for h := 0; h < NHeadroom; h++ {
+			for p := 0; p < NPressure; p++ {
+				idx := ActionIndex(r, h, p)
+				if idx < 0 || idx >= NActions {
+					t.Fatalf("ActionIndex(%d,%d,%d) = %d out of range", r, h, p, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("ActionIndex(%d,%d,%d) = %d collides", r, h, p, idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != NActions {
+		t.Fatalf("ActionIndex covers %d of %d buckets", len(seen), NActions)
+	}
+}
+
+func TestActionIndexPanicsOutOfRange(t *testing.T) {
+	for _, tc := range [][3]int{{-1, 0, 0}, {NRTT, 0, 0}, {0, NHeadroom, 0}, {0, 0, NPressure}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ActionIndex(%v) should panic", tc)
+				}
+			}()
+			ActionIndex(tc[0], tc[1], tc[2])
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("WaitIndex(NPressure) should panic")
+			}
+		}()
+		WaitIndex(NPressure)
+	}()
+}
+
+// randomModel builds a model with irrational-ish float values so the
+// round-trip test exercises the full mantissa, not friendly decimals.
+func randomModel(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{Corpus: "test-corpus", Seed: seed, Episodes: rng.Int63n(1000)}
+	for b := 0; b < NActions; b++ {
+		if rng.Intn(3) == 0 {
+			continue // leave some buckets untrained
+		}
+		m.QN[b] = rng.Int63n(1 << 40)
+		m.Q[b] = rng.NormFloat64() * 3
+	}
+	for b := 0; b < NWait; b++ {
+		m.WN[b] = rng.Int63n(1 << 20)
+		m.W[b] = rng.ExpFloat64()
+	}
+	return m
+}
+
+func TestMarshalParseRoundTripsExactly(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		m := randomModel(seed)
+		data := m.Marshal()
+		got, err := Parse(data)
+		if err != nil {
+			t.Fatalf("seed %d: Parse(Marshal): %v", seed, err)
+		}
+		if *got != *m {
+			t.Fatalf("seed %d: round-trip changed the model:\n got %+v\nwant %+v", seed, got, m)
+		}
+		// Marshal ∘ Parse ∘ Marshal must be the identity on bytes, or
+		// the train-determinism cmp gate is meaningless.
+		if again := got.Marshal(); !bytes.Equal(again, data) {
+			t.Fatalf("seed %d: re-marshal differs from original bytes", seed)
+		}
+	}
+}
+
+func TestMarshalCanonical(t *testing.T) {
+	m := randomModel(7)
+	if !bytes.Equal(m.Marshal(), m.Clone().Marshal()) {
+		t.Fatal("equal models marshal differently")
+	}
+	if !bytes.HasPrefix(m.Marshal(), []byte(modelVersion+"\n")) {
+		t.Fatal("marshal does not start with the version line")
+	}
+	if !bytes.HasSuffix(m.Marshal(), []byte("end\n")) {
+		t.Fatal("marshal does not finish with the end marker")
+	}
+}
+
+func TestUpdateIsUsageWeightedMean(t *testing.T) {
+	m := &Model{}
+	ep1 := &Episode{}
+	ep1.Action[5] = 3
+	ep1.Wait[1] = 1
+	m.Update(ep1, 2.0)
+	ep2 := &Episode{}
+	ep2.Action[5] = 1
+	m.Update(ep2, 6.0)
+
+	// Bucket 5 saw 3 uses at reward 2 and 1 use at reward 6: mean 3.
+	if m.QN[5] != 4 || m.Q[5] != 3.0 {
+		t.Errorf("Q[5] = (%g, n=%d), want (3, 4)", m.Q[5], m.QN[5])
+	}
+	if m.WN[1] != 1 || m.W[1] != 2.0 {
+		t.Errorf("W[1] = (%g, n=%d), want (2, 1)", m.W[1], m.WN[1])
+	}
+	if m.Episodes != 2 {
+		t.Errorf("Episodes = %d, want 2", m.Episodes)
+	}
+	// Untouched buckets stay untrained.
+	if m.QN[0] != 0 || m.Q[0] != 0 {
+		t.Errorf("Q[0] = (%g, n=%d), want untouched", m.Q[0], m.QN[0])
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := randomModel(3)
+	c := m.Clone()
+	ep := &Episode{}
+	ep.Action[0] = 1
+	c.Update(ep, 99)
+	if m.Q[0] == c.Q[0] && m.QN[0] == c.QN[0] && m.Episodes == c.Episodes {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestParseRejectsDamage(t *testing.T) {
+	good := string(randomModel(11).Marshal())
+	cases := map[string]string{
+		"empty":             "",
+		"wrong version":     strings.Replace(good, "v1", "v9", 1),
+		"no version":        strings.TrimPrefix(good, modelVersion+"\n"),
+		"missing corpus":    strings.Replace(good, "corpus test-corpus\n", "", 1),
+		"bad seed":          strings.Replace(good, "seed 11", "seed eleven", 1),
+		"bad episodes":      strings.Replace(good, "episodes", "episodes x", 1),
+		"dims mismatch":     strings.Replace(good, "dims 4 3 4", "dims 5 3 4", 1),
+		"truncated":         good[:len(good)-len("end\n")],
+		"half a line":       good[:len(good)/2],
+		"trailing garbage":  good + "q 0 1 0x1p+00\n",
+		"q index range":     strings.Replace(good, "\nend", "\nq 48 1 0x1p+00\nend", 1),
+		"w index range":     strings.Replace(good, "\nend", "\nw 4 1 0x1p+00\nend", 1),
+		"negative count":    strings.Replace(good, "\nend", "\nq 0 -1 0x1p+00\nend", 1),
+		"NaN value":         strings.Replace(good, "\nend", "\nq 0 1 NaN\nend", 1),
+		"malformed entry":   strings.Replace(good, "\nend", "\nq 0 1\nend", 1),
+		"unknown entry tag": strings.Replace(good, "\nend", "\nz 0 1 0x1p+00\nend", 1),
+	}
+	for name, data := range cases {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("%s: Parse should fail", name)
+		}
+	}
+	// Sanity: the undamaged bytes do parse.
+	if _, err := Parse([]byte(good)); err != nil {
+		t.Fatalf("pristine model failed to parse: %v", err)
+	}
+}
+
+func TestEmbeddedModelIsTrained(t *testing.T) {
+	m, err := Parse(EmbeddedBytes())
+	if err != nil {
+		t.Fatalf("embedded model does not parse: %v", err)
+	}
+	if m.Episodes == 0 {
+		t.Fatal("embedded model is untrained (0 episodes) — re-run the pinned -train-sched command")
+	}
+	meta := MetaOf(EmbeddedBytes())
+	if !meta.OK || meta.Version != modelVersion || meta.Corpus != m.Corpus || meta.Episodes != m.Episodes {
+		t.Errorf("MetaOf disagrees with Parse: %+v vs %+v", meta, m)
+	}
+	if bad := MetaOf([]byte("garbage")); bad.OK {
+		t.Error("MetaOf(garbage) should not be OK")
+	}
+}
+
+// FuzzParse asserts the no-panic contract: arbitrary bytes either parse
+// or error, and anything that parses re-marshals canonically.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(randomModel(1).Marshal())
+	f.Add([]byte(modelVersion + "\n"))
+	f.Add([]byte(modelVersion + "\ncorpus c\nseed 1\nepisodes 0\ndims 4 3 4\nend\n"))
+	f.Add([]byte(modelVersion + "\ncorpus c\nseed 1\nepisodes 0\ndims 4 3 4\nq 0 1 0x1p+00\nend\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip through the canonical form.
+		again, err := Parse(m.Marshal())
+		if err != nil {
+			t.Fatalf("canonical re-marshal does not parse: %v", err)
+		}
+		if *again != *m {
+			t.Fatal("canonical round-trip changed the model")
+		}
+	})
+}

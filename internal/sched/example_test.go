@@ -25,7 +25,7 @@ func ExampleNew() {
 func ExampleNames() {
 	fmt.Println(strings.Join(sched.Names(), " "))
 	// Output:
-	// firstfit minrtt roundrobin wcwnd redundant blest
+	// firstfit minrtt roundrobin wcwnd redundant blest bandit
 }
 
 // A spec composes a scheduler with the §6 receive-buffer-blocking

@@ -7,7 +7,7 @@ import (
 )
 
 // wantNames is the canonical catalogue in presentation order.
-var wantNames = []string{"firstfit", "minrtt", "roundrobin", "wcwnd", "redundant", "blest"}
+var wantNames = []string{"firstfit", "minrtt", "roundrobin", "wcwnd", "redundant", "blest", "bandit"}
 
 func TestNamesOrder(t *testing.T) {
 	if got := Names(); !reflect.DeepEqual(got, wantNames) {
@@ -39,7 +39,7 @@ func TestLookupIsCaseInsensitive(t *testing.T) {
 }
 
 func TestAliasesResolveToCanonical(t *testing.T) {
-	for alias, want := range map[string]string{"rr": "roundrobin", "dup": "redundant", "stripe": "firstfit", "lowrtt": "minrtt", "default": "minrtt"} {
+	for alias, want := range map[string]string{"rr": "roundrobin", "dup": "redundant", "stripe": "firstfit", "lowrtt": "minrtt", "default": "minrtt", "learned": "bandit"} {
 		info, ok := Lookup(alias)
 		if !ok || info.Name != want {
 			t.Errorf("Lookup(%q) = (%v, %v), want canonical %q", alias, info.Name, ok, want)
@@ -73,12 +73,20 @@ func TestInfoMetadataComplete(t *testing.T) {
 		if got := info.Redundant; got != (info.Name == "redundant") {
 			t.Errorf("%s: Redundant = %v", info.Name, got)
 		}
+		// Provenance marks learned schedulers only: the bandit must say
+		// what it was trained on, classical entries must stay blank.
+		if learned := info.Name == "bandit"; learned != (info.Provenance != "") {
+			t.Errorf("%s: Provenance = %q, learned = %v", info.Name, info.Provenance, learned)
+		}
 	}
 	help := Help()
 	for _, name := range wantNames {
 		if !strings.Contains(help, name) {
 			t.Errorf("Help() misses %s", name)
 		}
+	}
+	if !strings.Contains(help, "trained: mptcp-bandit v1") {
+		t.Errorf("Help() misses the bandit provenance line:\n%s", help)
 	}
 }
 

@@ -158,13 +158,18 @@ type Info struct {
 	// subflows. Filled in by Register from the constructed type; never
 	// hand-maintained.
 	Redundant bool
+	// Provenance documents what a learned scheduler was trained on —
+	// model version, training corpus and seed — so CLI -list shows
+	// where a policy's behaviour comes from. Empty for classical
+	// (hand-written) schedulers.
+	Provenance string
 	// Rank orders Names/Infos for presentation.
 	Rank int
 }
 
 type entry struct {
 	info Info
-	ctor func() Scheduler
+	ctor func() (Scheduler, error)
 }
 
 var (
@@ -179,18 +184,35 @@ var (
 // must return a fresh instance on every call. Register fills
 // info.Redundant by probing the constructed type.
 func Register(info Info, ctor func() Scheduler) {
+	if ctor == nil {
+		panic("sched: Register needs a constructor")
+	}
+	RegisterErr(info, func() (Scheduler, error) {
+		s := ctor()
+		if s == nil {
+			panic("sched: constructor for " + info.Name + " returned nil")
+		}
+		return s, nil
+	})
+}
+
+// RegisterErr is Register for schedulers whose construction can fail —
+// a learned scheduler must load (and validate) its model. A
+// construction error is not a registration error: the entry still
+// appears in Names/Infos/Help, and New surfaces the error to its
+// caller instead of panicking, so a damaged model file degrades into a
+// clean lookup failure rather than an init-time crash.
+func RegisterErr(info Info, ctor func() (Scheduler, error)) {
 	if info.Name == "" || ctor == nil {
 		panic("sched: Register needs a name and a constructor")
 	}
-	probe := ctor()
-	if probe == nil {
-		panic("sched: constructor for " + info.Name + " returned nil")
-	}
-	if probe.Name() != info.Name {
-		panic(fmt.Sprintf("sched: %s constructor builds scheduler named %q", info.Name, probe.Name()))
-	}
-	if d, ok := probe.(Duplicator); ok {
-		info.Redundant = d.Duplicates()
+	if probe, err := ctor(); err == nil {
+		if probe.Name() != info.Name {
+			panic(fmt.Sprintf("sched: %s constructor builds scheduler named %q", info.Name, probe.Name()))
+		}
+		if d, ok := probe.(Duplicator); ok {
+			info.Redundant = d.Duplicates()
+		}
 	}
 
 	mu.Lock()
@@ -222,7 +244,11 @@ func New(name string) (Scheduler, error) {
 	if !ok {
 		return nil, fmt.Errorf("sched: unknown scheduler %q (have %s)", name, strings.Join(Names(), ", "))
 	}
-	return e.ctor(), nil
+	s, err := e.ctor()
+	if err != nil {
+		return nil, fmt.Errorf("sched: constructing %s: %w", e.info.Name, err)
+	}
+	return s, nil
 }
 
 // MustNew is New for callers with a statically known name; it panics on
@@ -311,11 +337,16 @@ func Infos() []Info {
 	return out
 }
 
-// Help renders a one-line-per-scheduler summary for CLI usage text.
+// Help renders a one-line-per-scheduler summary for CLI usage text,
+// with a provenance line under learned entries documenting the model
+// version, training corpus and seed the policy came from.
 func Help() string {
 	var sb strings.Builder
 	for _, info := range Infos() {
 		fmt.Fprintf(&sb, "  %-12s %s (%s)\n", info.Name, info.Desc, info.Ref)
+		if info.Provenance != "" {
+			fmt.Fprintf(&sb, "  %-12s trained: %s\n", "", info.Provenance)
+		}
 	}
 	return sb.String()
 }
